@@ -1,0 +1,34 @@
+"""Benchmark-suite configuration.
+
+Every benchmark regenerates one paper figure (or ablation) via
+``repro.bench.figures`` and reports headline metrics through
+pytest-benchmark's ``extra_info`` so the JSON output records the
+paper-comparison numbers alongside wall-clock timings.
+
+The simulations are deterministic, so a single round is meaningful;
+``pedantic`` mode keeps total runtime sane.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def figure_runner(benchmark, capfd):
+    """Run one figure driver under pytest-benchmark and surface metrics.
+
+    The regenerated table — the paper-vs-measured record — is printed with
+    capture disabled so it reaches the console / tee'd log on passing runs.
+    """
+
+    def runner(fn, **kwargs):
+        result = benchmark.pedantic(
+            lambda: fn(**kwargs), rounds=1, iterations=1, warmup_rounds=0
+        )
+        with capfd.disabled():
+            print(f"\n{result.table()}\n", flush=True)
+        benchmark.extra_info.update(result.metrics)
+        return result
+
+    return runner

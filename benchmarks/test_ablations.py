@@ -1,0 +1,42 @@
+"""Ablation benches for the design choices DESIGN.md calls out:
+warp-level coalescing (§3.3.2), pluggable cache policies (§3.4), the
+host-DRAM cache tier (§5 extension 1), and service polling-warp scaling
+(Algorithm 1)."""
+
+from repro.bench.figures import (
+    abl_coalescing,
+    abl_dram_tier,
+    abl_policies,
+    abl_polling_warps,
+)
+
+
+def test_abl_warp_coalescing(figure_runner):
+    """Two-level coalescing must not lose to cache-only dedup on a
+    Zipf-hot gather."""
+    result = figure_runner(abl_coalescing, epochs=4, batch=128, features=13)
+    assert result.metrics["coalescing_gain"] >= 0.95
+
+
+def test_abl_cache_policies(figure_runner):
+    """All four built-in policies run the same Zipf stream; recency-aware
+    policies (clock/lru) must beat random on hit rate."""
+    result = figure_runner(abl_policies)
+    m = result.metrics
+    for policy in ("clock", "lru", "fifo", "random"):
+        assert 0.0 <= m[f"{policy}_hit_rate"] <= 1.0
+    assert max(m["clock_hit_rate"], m["lru_hit_rate"]) >= m["random_hit_rate"]
+
+
+def test_abl_dram_tier(figure_runner):
+    """The host-DRAM victim tier must turn capacity misses into DRAM hits
+    and speed up the re-scan."""
+    result = figure_runner(abl_dram_tier)
+    assert result.metrics["tier_speedup"] > 1.2
+
+
+def test_abl_polling_warps(figure_runner):
+    """More polling warps must never slow completion handling."""
+    result = figure_runner(abl_polling_warps)
+    m = result.metrics
+    assert m["warps_4"] <= m["warps_1"] * 1.1

@@ -1,0 +1,19 @@
+"""Fig. 4: asynchronous vs synchronous I/O across CTC ratios.
+
+Paper: speedup follows Eq. 1, peaking at 1.88x slightly below CTC = 1.
+"""
+
+from repro.bench.figures import fig4
+from repro.workloads.ctc import ideal_speedup
+
+
+def test_fig4_ctc_sweep(figure_runner):
+    result = figure_runner(fig4)
+    peak = result.metrics["peak_speedup"]
+    # Paper band: peak well above 1.5x, near the balanced point, and never
+    # above the pipelined-ideal envelope.
+    assert 1.5 <= peak <= 2.1
+    assert 0.5 <= result.metrics["peak_ctc"] <= 1.25
+    for row in result.rows:
+        ctc, _, _, speedup, _ = row
+        assert speedup <= ideal_speedup(ctc) + 0.2

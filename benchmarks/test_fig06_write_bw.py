@@ -1,0 +1,16 @@
+"""Fig. 6: 4 KB random-write bandwidth scaling across 1-3 SSDs.
+
+Paper: saturates at 2.2 / 4.4 / 6.7 GB/s.
+"""
+
+from repro.bench.figures import fig6
+
+
+def test_fig6_write_scaling(figure_runner):
+    result = figure_runner(fig6)
+    bw1 = result.metrics["bw_1ssd"]
+    bw2 = result.metrics["bw_2ssd"]
+    bw3 = result.metrics["bw_3ssd"]
+    assert 1.5 <= bw1 <= 2.3  # approaching the 2.2 GB/s program ceiling
+    assert bw2 >= 1.7 * bw1
+    assert bw3 >= 2.3 * bw1

@@ -1,0 +1,21 @@
+"""Fig. 8: DLRM Config-1 speedup over BaM across batch sizes.
+
+Paper: sync stable 1.18-1.30x; async peaks 1.75x at batch 16.  At this
+reproduction's scaled trace the peak shifts toward larger batches (small
+batches are almost fully covered by the Zipf-hot cache head, leaving
+little communication to hide — see EXPERIMENTS.md), so the bench asserts
+the robust structure: async always ahead of sync, with a strongly
+batch-dependent gain whose peak magnitude lands in the paper's band.
+"""
+
+from repro.bench.figures import fig8
+
+
+def test_fig8_batch_sweep(figure_runner):
+    result = figure_runner(fig8, batches=(4, 16, 64, 256), epochs=5,
+                           features=13)
+    m = result.metrics
+    gains = [m[f"async_b{b}"] for b in (4, 16, 64, 256)]
+    assert all(g >= 0.95 for g in gains)  # async never loses to BaM
+    assert m["peak_async"] > 1.3          # paper peak band (1.75x there)
+    assert max(gains) / min(gains) > 1.2  # strongly batch-dependent

@@ -1,0 +1,18 @@
+"""Fig. 9: DLRM Config-1 under varying NVMe queue-pair counts (depth 64).
+
+Paper: with a single queue pair the async mode's prefetch stalls waiting
+for the service to recycle SQEs, so async ~= sync; the async advantage
+grows with queue pairs.
+"""
+
+from repro.bench.figures import fig9
+
+
+def test_fig9_queue_pair_sweep(figure_runner):
+    result = figure_runner(
+        fig9, queue_pairs=(1, 4, 16), epochs=5, batch=128, features=13
+    )
+    m = result.metrics
+    # async/sync gap widens from 1 QP to the largest setting.
+    assert m["gap_qp16"] >= m["gap_qp1"]
+    assert m["gap_qp1"] >= 0.9  # async never collapses below sync

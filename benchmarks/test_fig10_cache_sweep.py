@@ -1,0 +1,21 @@
+"""Fig. 10: DLRM Config-1 under varying software-cache sizes.
+
+Paper: with a tiny cache the async mode's prefetches evict data before use
+and it falls *behind* sync; past a threshold (~64 MB there) async overtakes
+and stays ahead.  The crossover is the assertion here.
+"""
+
+from repro.bench.figures import fig10
+
+
+def test_fig10_cache_sweep(figure_runner):
+    result = figure_runner(
+        fig10, cache_lines=(96, 256, 2048), epochs=5, batch=128, features=13
+    )
+    m = result.metrics
+    small, large = 96, 2048
+    gap_small = m[f"async_l{small}"] / m[f"sync_l{small}"]
+    gap_large = m[f"async_l{large}"] / m[f"sync_l{large}"]
+    # Async's edge over sync must grow with cache size (the crossover).
+    assert gap_large > gap_small
+    assert m[f"async_l{large}"] > 1.0

@@ -1,0 +1,24 @@
+"""Fig. 11: BFS/SpMV execution-time breakdown (kernel / cache API / I/O
+API) on uniform and Kronecker graphs.
+
+Paper: AGILE reduces software-cache overhead by 1.93-3.17x and I/O
+overhead by 1.06-2.85x versus BaM.  The bench asserts the cache-API
+reductions (the robust part of the methodology at simulator scale) and
+that AGILE's *total* runtime is lower everywhere.
+"""
+
+from repro.bench.figures import fig11
+
+
+def test_fig11_graph_api_overhead(figure_runner):
+    result = figure_runner(fig11, n_vertices=1024, degree=8)
+    m = result.metrics
+    for app in ("bfs", "spmv"):
+        for gtype in ("U", "K"):
+            assert m[f"{app}_{gtype}_cache_reduction"] > 1.5
+    # Totals: AGILE below BaM for every workload row.
+    totals = {}
+    for workload, system, _k, _c, _io, total in result.rows:
+        totals.setdefault(workload, {})[system] = total
+    for workload, per_system in totals.items():
+        assert per_system["agile"] < per_system["bam"], workload

@@ -1,0 +1,20 @@
+"""Fig. 12: per-thread register usage, BaM vs AGILE, via the KIR
+register-pressure estimator.
+
+Paper: reductions of 1.04x (VectorMean), 1.22x (BFS), 1.32x (SpMV); the
+AGILE service kernel itself uses 37 registers.
+"""
+
+import pytest
+
+from repro.bench.figures import fig12
+
+
+def test_fig12_register_usage(figure_runner):
+    result = figure_runner(fig12)
+    m = result.metrics
+    assert m["service_registers"] == 37
+    assert m["vector_mean_reduction"] == pytest.approx(1.04, abs=0.06)
+    assert m["bfs_reduction"] == pytest.approx(1.22, abs=0.06)
+    assert m["spmv_reduction"] == pytest.approx(1.32, abs=0.06)
+    assert m["vector_mean_reduction"] < m["bfs_reduction"] < m["spmv_reduction"]

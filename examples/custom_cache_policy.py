@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Customizing the AGILE software-cache policy (paper §3.4, §3.5).
+
+Where the CUDA implementation uses CRTP, the Python reproduction uses plain
+subclassing of ``CachePolicy``.  This example implements a protected-LRU
+("segmented LRU light") policy that shields lines with repeated hits from
+eviction, plugs it into an ``AgileHost``, and compares hit rates against
+the built-in CLOCK on a scan-plus-hotset access mix that defeats plain
+recency policies.
+
+Run:  python examples/custom_cache_policy.py
+"""
+
+import numpy as np
+
+from repro.config import CacheConfig, SsdConfig, SystemConfig
+from repro.core import AgileHost, AgileLockChain
+from repro.core.policies import CachePolicy, make_policy
+from repro.gpu import KernelSpec, LaunchConfig
+
+
+class ProtectedLru(CachePolicy):
+    """LRU with a protection bit: lines hit at least twice are skipped once
+    during victim selection, so a streaming scan cannot flush the hot set.
+    """
+
+    def attach(self, num_sets: int, ways: int) -> None:
+        super().attach(num_sets, ways)
+        self._stacks = [list(range(ways)) for _ in range(num_sets)]
+        self._hits = np.zeros((num_sets, ways), dtype=np.int64)
+
+    def _touch(self, set_idx: int, way: int) -> None:
+        stack = self._stacks[set_idx]
+        stack.remove(way)
+        stack.append(way)
+
+    def on_hit(self, set_idx: int, way: int) -> None:
+        self._hits[set_idx, way] += 1
+        self._touch(set_idx, way)
+
+    def on_fill(self, set_idx: int, way: int) -> None:
+        self._hits[set_idx, way] = 0
+        self._touch(set_idx, way)
+
+    def select_victim(self, set_idx, candidates):
+        allowed = set(candidates)
+        # First pass: evict the least-recent *unprotected* line.
+        for way in self._stacks[set_idx]:
+            if way in allowed and self._hits[set_idx, way] < 2:
+                return way
+        # Everyone is protected: demote and fall back to plain LRU.
+        for way in self._stacks[set_idx]:
+            if way in allowed:
+                self._hits[set_idx, way] = 0
+                return way
+        return None
+
+
+def run_with(policy, lbas):
+    cfg = SystemConfig(
+        cache=CacheConfig(num_lines=64, ways=8),
+        ssds=(SsdConfig(name="ssd0", capacity_bytes=1 << 28),),
+        queue_pairs=4,
+        queue_depth=32,
+    )
+    host = AgileHost(cfg, policy=policy)
+
+    def body(tc, ctrl, n_threads=32):
+        chain = AgileLockChain(f"t{tc.tid}")
+        tid = tc.tid % n_threads
+        for k in range(tid, len(lbas), n_threads):
+            line = yield from ctrl.read_page(tc, chain, 0, int(lbas[k]))
+            yield from tc.hbm_load(64)
+            ctrl.cache.unpin(line)
+
+    spec = KernelSpec(name="policy_demo", body=body, registers_per_thread=40)
+    with host:
+        total_ns = host.run_kernel(spec, LaunchConfig(1, 32))
+        host.drain()
+    stats = host.cache.flush_stats()
+    hit_rate = stats["hits"] / (stats["hits"] + stats["misses"])
+    return total_ns, hit_rate
+
+
+# Access mix: a hot set of 24 pages (fits in cache) re-read between streaming
+# scans over 400 cold pages — the pattern that flushes pure recency policies.
+rng = np.random.default_rng(9)
+trace = []
+for _ in range(6):
+    trace.extend(rng.integers(0, 24, size=160).tolist())  # hot phase
+    trace.extend(range(100, 500))  # scan phase
+trace = np.array(trace)
+
+for name, policy in (
+    ("clock (built-in)", make_policy("clock")),
+    ("lru (built-in)", make_policy("lru")),
+    ("protected-lru (custom)", ProtectedLru()),
+):
+    total_ns, hit_rate = run_with(policy, trace)
+    print(f"{name:24s} hit rate {hit_rate:6.1%}   time {total_ns / 1e6:6.2f} ms")
+
+print("\ncustom policy plugged into AGILE without touching library code")

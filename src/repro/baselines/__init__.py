@@ -1,0 +1,25 @@
+"""Baselines the paper compares against.
+
+- :mod:`repro.baselines.bam` — a faithful reimplementation of BaM's
+  GPU-centric *synchronous* model (Qureshi et al., ASPLOS'23): threads
+  issue NVMe commands, hold the SQ entry, and poll the completion queue
+  inline, with a fixed CLOCK-policy software cache.
+- :mod:`repro.baselines.naive_async` — the strawman asynchronous design of
+  the paper's Figure 1: threads issue multiple commands while *holding*
+  SQE locks and only later process completions; with more outstanding
+  requests than SQ entries this deadlocks, which the AGILE lock-chain
+  debugger detects and reports.
+"""
+
+from repro.baselines.bam import BamCache, BamCtrl, BamIoEngine, BamCostConfig
+from repro.baselines.harness import BamHost
+from repro.baselines.naive_async import NaiveAsyncEngine
+
+__all__ = [
+    "BamCtrl",
+    "BamCache",
+    "BamIoEngine",
+    "BamCostConfig",
+    "BamHost",
+    "NaiveAsyncEngine",
+]

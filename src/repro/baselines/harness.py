@@ -1,0 +1,131 @@
+"""Host-side assembly for BaM experiments, mirroring
+:class:`~repro.core.host.AgileHost` so the benchmark drivers can swap the
+two systems symmetrically (same GPU, same SSDs, same queue geometry)."""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+import numpy as np
+
+from repro.baselines.bam import BamCostConfig, BamCtrl
+from repro.config import SystemConfig
+from repro.core.locks import LockDebugger
+from repro.gpu.device import Gpu, KernelLaunch
+from repro.gpu.kernel import KernelSpec, LaunchConfig
+from repro.nvme.driver import NvmeDriver
+from repro.nvme.flash import load_array, read_array
+from repro.sim.engine import Simulator
+from repro.sim.trace import TraceRecorder
+
+
+class BamHost:
+    """Owns a simulated machine running BaM instead of AGILE.
+
+    No background service exists (BaM threads poll inline), so kernels run
+    on *all* SMs — BaM gets the hardware advantage its design implies, and
+    still loses on overlap, as in the paper.
+    """
+
+    def __init__(
+        self,
+        cfg: Optional[SystemConfig] = None,
+        *,
+        costs: Optional[BamCostConfig] = None,
+        num_cache_lines: Optional[int] = None,
+        debug_locks: bool = True,
+        hbm_capacity: Optional[int] = None,
+    ):
+        self.cfg = cfg if cfg is not None else SystemConfig()
+        self.cfg.validate()
+        self.sim = Simulator()
+        self.trace = TraceRecorder()
+        capacity = hbm_capacity
+        if capacity is None:
+            capacity = self.cfg.cache.capacity_bytes + (64 << 20)
+        self.gpu = Gpu(self.sim, self.cfg.gpu, hbm_capacity=capacity)
+        self.debugger = LockDebugger(enabled=debug_locks)
+        self.driver = NvmeDriver(self.sim, self.gpu.hbm)
+        self.ssds = [
+            self.driver.add_device(scfg, gpu_pipe=self.gpu.pcie_pipe)
+            for scfg in self.cfg.ssds
+        ]
+        self.queue_pairs = [
+            self.driver.create_io_queues(
+                ssd, self.cfg.queue_pairs, self.cfg.queue_depth
+            )
+            for ssd in self.ssds
+        ]
+        self.ctrl = BamCtrl(
+            self.sim,
+            self.cfg,
+            self.gpu.hbm,
+            self.ssds,
+            self.queue_pairs,
+            costs=costs,
+            num_lines=num_cache_lines,
+            debugger=self.debugger,
+            stats=self.trace.group("bam"),
+        )
+
+    # -- data staging ------------------------------------------------------------
+
+    def load_data(self, ssd_idx: int, start_lba: int, data: np.ndarray) -> int:
+        return load_array(self.ssds[ssd_idx].flash, start_lba, data)
+
+    def load_data_striped(self, start_lba: int, data: np.ndarray) -> int:
+        raw = np.ascontiguousarray(data).view(np.uint8).reshape(-1)
+        page = self.cfg.ssds[0].page_size
+        n = len(self.ssds)
+        n_pages = (raw.size + page - 1) // page
+        for p in range(n_pages):
+            chunk = raw[p * page : (p + 1) * page]
+            buf = np.zeros(page, dtype=np.uint8)
+            buf[: chunk.size] = chunk
+            self.ssds[p % n].flash.write_page_data(start_lba + p // n, buf)
+        return n_pages
+
+    def read_flash(
+        self,
+        ssd_idx: int,
+        start_lba: int,
+        nbytes: int,
+        dtype: np.dtype | str = np.uint8,
+    ) -> np.ndarray:
+        return read_array(self.ssds[ssd_idx].flash, start_lba, nbytes, dtype)
+
+    def preload_cache(self, ssd_idx: int, lbas: Sequence[int]) -> None:
+        flash = self.ssds[ssd_idx].flash
+        for lba in lbas:
+            self.ctrl.cache.preload(ssd_idx, lba, flash.read_page_data(lba))
+
+    def alloc_view(self, nbytes: int, label: str = "user") -> np.ndarray:
+        return self.gpu.hbm.alloc(nbytes, label=label).view
+
+    # -- kernel execution ----------------------------------------------------------
+
+    def launch_kernel(
+        self,
+        kernel: KernelSpec,
+        launch_cfg: LaunchConfig,
+        args: Sequence[Any] = (),
+    ) -> KernelLaunch:
+        return self.gpu.launch(kernel, launch_cfg, args=(self.ctrl, *args))
+
+    def run_kernel(
+        self,
+        kernel: KernelSpec,
+        launch_cfg: LaunchConfig,
+        args: Sequence[Any] = (),
+    ) -> float:
+        launch = self.launch_kernel(kernel, launch_cfg, args)
+
+        def waiter():
+            yield launch.done
+
+        proc = self.sim.spawn(waiter(), name=f"{kernel.name}.host_wait")
+        self.sim.run(until_procs=[proc])
+        return launch.duration
+
+    def stats(self) -> dict[str, dict[str, float]]:
+        return self.trace.snapshot()

@@ -1,0 +1,13 @@
+"""Benchmark harness: one driver per paper figure plus ablations.
+
+Each ``figN()`` function in :mod:`repro.bench.figures` regenerates the rows
+or series of the corresponding evaluation figure at a scaled-down default
+size (see EXPERIMENTS.md for the scale substitutions) and returns a
+:class:`repro.bench.report.FigureResult` that both prints the table and is
+consumed by the ``benchmarks/`` pytest-benchmark suite.
+"""
+
+from repro.bench.report import FigureResult, format_table
+from repro.bench import figures
+
+__all__ = ["FigureResult", "format_table", "figures"]

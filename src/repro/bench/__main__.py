@@ -1,0 +1,39 @@
+"""Command-line figure regeneration.
+
+Usage::
+
+    python -m repro.bench list            # available figures/ablations
+    python -m repro.bench fig4 fig12      # regenerate specific figures
+    python -m repro.bench all             # everything (minutes)
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.bench.figures import ALL_ABLATIONS, ALL_FIGURES
+
+
+def main(argv: list[str]) -> int:
+    registry = {**ALL_FIGURES, **{f"abl_{k}": v for k, v in ALL_ABLATIONS.items()}}
+    if not argv or argv[0] in ("-h", "--help", "list"):
+        print("available targets:")
+        for name in registry:
+            print(f"  {name}")
+        print("  all")
+        return 0
+    targets = list(registry) if argv == ["all"] else argv
+    unknown = [t for t in targets if t not in registry]
+    if unknown:
+        print(f"unknown target(s): {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    for name in targets:
+        start = time.time()
+        registry[name]().show()
+        print(f"[{name} regenerated in {time.time() - start:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,60 @@
+"""Plain-text result tables for the benchmark harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """Fixed-width table; numbers are rendered with sensible precision."""
+
+    def render(cell: Any) -> str:
+        if isinstance(cell, float):
+            if cell == 0:
+                return "0"
+            if abs(cell) >= 1000:
+                return f"{cell:,.0f}"
+            return f"{cell:.3f}"
+        return str(cell)
+
+    grid = [list(map(render, row)) for row in rows]
+    widths = [
+        max(len(headers[c]), *(len(r[c]) for r in grid)) if grid else len(headers[c])
+        for c in range(len(headers))
+    ]
+    line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    sep = "-" * len(line)
+    body = [
+        "  ".join(cell.rjust(w) for cell, w in zip(row, widths)) for row in grid
+    ]
+    return "\n".join([line, sep, *body])
+
+
+@dataclass
+class FigureResult:
+    """One regenerated figure: rows, the paper's reference numbers, and
+    any headline metrics the tests/EXPERIMENTS.md assert on."""
+
+    figure: str
+    title: str
+    headers: List[str]
+    rows: List[List[Any]]
+    paper_reference: str = ""
+    metrics: Dict[str, float] = field(default_factory=dict)
+
+    def table(self) -> str:
+        parts = [f"== {self.figure}: {self.title} =="]
+        if self.paper_reference:
+            parts.append(f"paper: {self.paper_reference}")
+        parts.append(format_table(self.headers, self.rows))
+        if self.metrics:
+            rendered = ", ".join(
+                f"{k}={v:.3f}" for k, v in sorted(self.metrics.items())
+            )
+            parts.append(f"measured: {rendered}")
+        return "\n".join(parts)
+
+    def show(self) -> "FigureResult":
+        print(self.table())
+        return self

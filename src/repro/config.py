@@ -1,0 +1,283 @@
+"""System configuration dataclasses and timing calibration.
+
+All simulated times are in **nanoseconds** (floats).  The constants below are
+calibrated so that the simulated hardware reproduces the saturation points the
+paper measures on its testbed (Dell R750, RTX 5000 Ada, Dell 1.6 TB AIC +
+2x Samsung 990 PRO; see DESIGN.md section 4):
+
+- one SSD saturates ~3.7 GB/s on 4 KiB random reads (paper Fig. 5),
+- one SSD saturates ~2.2 GB/s on 4 KiB random writes (paper Fig. 6),
+- PCIe Gen4 x4 per SSD (~6.9 GB/s effective) is not the binding constraint,
+- the GPU sits on PCIe Gen4 x16.
+
+The reproduction targets *shapes and ratios*, not absolute wall-clock numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Mapping
+
+#: Bytes per flash page / NVMe logical block used throughout (paper §2.3.3).
+PAGE_SIZE = 4096
+
+#: Nanoseconds per second, for bandwidth conversions.
+NS_PER_S = 1e9
+
+
+def gbps_to_bytes_per_ns(gb_per_s: float) -> float:
+    """Convert GB/s (decimal gigabytes) to bytes per nanosecond."""
+    return gb_per_s * 1e9 / NS_PER_S
+
+
+@dataclass(frozen=True)
+class PcieConfig:
+    """A PCIe link between two devices.
+
+    ``lanes`` scales bandwidth linearly; ``efficiency`` folds TLP header and
+    flow-control overhead into a single factor, which is the standard
+    first-order model for PCIe payload throughput.
+    """
+
+    generation: int = 4
+    lanes: int = 4
+    #: Raw per-lane bandwidth for Gen4 in GB/s (16 GT/s, 128b/130b).
+    per_lane_gbps: float = 1.969
+    #: Fraction of raw bandwidth usable for payload after TLP overhead.
+    efficiency: float = 0.88
+    #: One-way propagation + root-complex forwarding latency (ns).
+    latency_ns: float = 450.0
+    #: Latency of a posted MMIO write (doorbell ring) as seen by the GPU (ns).
+    mmio_write_ns: float = 800.0
+
+    @property
+    def bytes_per_ns(self) -> float:
+        """Effective payload bandwidth in bytes/ns."""
+        return gbps_to_bytes_per_ns(
+            self.per_lane_gbps * self.lanes * self.efficiency
+        )
+
+
+@dataclass(frozen=True)
+class SsdConfig:
+    """An NVMe SSD: flash geometry, protocol timing, queue limits.
+
+    Flash service times are calibrated so that ``channels`` concurrent 4 KiB
+    operations saturate at the paper's measured per-SSD bandwidths:
+    45 channels x 4096 B / 49.8 us = 3.70 GB/s reads, and /83.8 us =
+    2.20 GB/s writes.
+    """
+
+    name: str = "ssd"
+    capacity_bytes: int = 1 << 34  # 16 GiB simulated flash is ample for repro
+    page_size: int = PAGE_SIZE
+    #: Independent flash channels (NAND-level parallelism).
+    channels: int = 45
+    #: 4 KiB flash read service time per page (ns).
+    read_latency_ns: float = 49_800.0
+    #: 4 KiB flash program service time per page (ns).
+    write_latency_ns: float = 83_800.0
+    #: Controller time to fetch one SQE after a doorbell (DMA read, ns).
+    sqe_fetch_ns: float = 1_200.0
+    #: Controller time to post one CQE (DMA write, ns).
+    cqe_post_ns: float = 600.0
+    #: Fixed controller command-processing overhead per command (ns).
+    cmd_overhead_ns: float = 1_000.0
+    #: Hardware limit on I/O queue pairs (Samsung 980 PRO supports 128).
+    max_queue_pairs: int = 128
+    #: Maximum entries per submission/completion queue.
+    max_queue_depth: int = 1024
+    pcie: PcieConfig = field(default_factory=PcieConfig)
+
+    @property
+    def num_pages(self) -> int:
+        return self.capacity_bytes // self.page_size
+
+    @property
+    def peak_read_bw(self) -> float:
+        """Aggregate flash read bandwidth in bytes/ns."""
+        return self.channels * self.page_size / self.read_latency_ns
+
+    @property
+    def peak_write_bw(self) -> float:
+        """Aggregate flash program bandwidth in bytes/ns."""
+        return self.channels * self.page_size / self.write_latency_ns
+
+
+@dataclass(frozen=True)
+class GpuConfig:
+    """The GPU: SM array, clock, HBM, register file, warp geometry."""
+
+    name: str = "gpu"
+    num_sms: int = 16
+    warp_size: int = 32
+    #: Core clock in GHz; 1 cycle = 1/clock_ghz ns.
+    clock_ghz: float = 1.5
+    #: Warp-instructions issued per SM per cycle (fair-shared among warps).
+    issue_width: int = 4
+    #: Maximum resident warps per SM (occupancy ceiling).
+    max_warps_per_sm: int = 48
+    #: Maximum thread blocks resident per SM.
+    max_blocks_per_sm: int = 24
+    #: 32-bit registers per SM (RTX 5000 Ada class).
+    registers_per_sm: int = 65_536
+    #: Maximum registers addressable per thread.
+    max_registers_per_thread: int = 255
+    #: Shared memory per SM in bytes.
+    shared_mem_per_sm: int = 100 * 1024
+    #: HBM/GDDR load-to-use latency (ns).
+    hbm_latency_ns: float = 450.0
+    #: HBM bandwidth in GB/s.
+    hbm_bandwidth_gbps: float = 576.0
+    #: Latency of one global-memory atomic operation (ns).
+    atomic_latency_ns: float = 120.0
+    #: Serialized service time per atomic at the L2 atomic units (ns);
+    #: bounds GPU-wide atomic throughput (~4 ns -> ~250M atomics/s, the
+    #: right order for contended same-line atomics).
+    atomic_service_ns: float = 4.0
+    #: PCIe link to the host / switch complex (Gen4 x16).
+    pcie: PcieConfig = field(default_factory=lambda: PcieConfig(lanes=16))
+
+    @property
+    def cycle_ns(self) -> float:
+        return 1.0 / self.clock_ghz
+
+    @property
+    def hbm_bytes_per_ns(self) -> float:
+        return gbps_to_bytes_per_ns(self.hbm_bandwidth_gbps)
+
+    def cycles(self, n: float) -> float:
+        """Convert a cycle count to nanoseconds."""
+        return n * self.cycle_ns
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """AGILE software cache geometry (lives in simulated HBM)."""
+
+    num_lines: int = 1024
+    line_size: int = PAGE_SIZE
+    #: Set associativity; lines are grouped into sets of this many ways.
+    ways: int = 8
+    policy: str = "clock"
+    #: Enable the Share Table (paper §3.4.1 compile-time option).
+    share_table: bool = True
+    #: Optional host-DRAM victim tier capacity in lines (0 = disabled);
+    #: implements the paper's §5 first extension.
+    dram_tier_lines: int = 0
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.num_lines * self.line_size
+
+    @property
+    def num_sets(self) -> int:
+        return max(1, self.num_lines // self.ways)
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """AGILE service daemon configuration (paper §3.2)."""
+
+    #: Number of warps dedicated to CQ polling.
+    polling_warps: int = 2
+    #: Cycles of work per polling iteration per CQE window (Algorithm 1 body).
+    poll_iteration_cycles: float = 24.0
+    #: Idle back-off between polling sweeps when nothing is pending (ns).
+    idle_poll_ns: float = 200.0
+    #: Per-thread registers consumed by the service kernel (paper: 37).
+    service_registers: int = 37
+
+
+@dataclass(frozen=True)
+class ApiCostConfig:
+    """Instruction-cost model for the AGILE / BaM API fast paths (cycles).
+
+    These model the *software* overhead of each API on the critical path:
+    hashing, tag checks, lock handling.  AGILE's numbers are lower because of
+    its lean lock protocol and the offloaded completion handling (paper §4.5,
+    §4.6); BaM's are higher because every thread carries inline CQ-polling
+    and heavier cache critical sections.
+    """
+
+    cache_lookup_cycles: float = 40.0
+    cache_insert_cycles: float = 60.0
+    issue_setup_cycles: float = 50.0
+    barrier_wait_poll_cycles: float = 8.0
+    warp_coalesce_cycles: float = 12.0
+    share_table_cycles: float = 30.0
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Top-level bundle describing one simulated machine."""
+
+    gpu: GpuConfig = field(default_factory=GpuConfig)
+    ssds: tuple[SsdConfig, ...] = field(
+        default_factory=lambda: (SsdConfig(name="ssd0"),)
+    )
+    cache: CacheConfig = field(default_factory=CacheConfig)
+    service: ServiceConfig = field(default_factory=ServiceConfig)
+    api: ApiCostConfig = field(default_factory=ApiCostConfig)
+    #: I/O queue pairs per SSD.
+    queue_pairs: int = 8
+    #: Entries per submission queue.
+    queue_depth: int = 64
+    seed: int = 0xA617E
+
+    def with_ssds(self, count: int) -> "SystemConfig":
+        """Return a copy with ``count`` identical SSDs."""
+        base = self.ssds[0]
+        return replace(
+            self,
+            ssds=tuple(replace(base, name=f"ssd{i}") for i in range(count)),
+        )
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on inconsistent configuration."""
+        if not self.ssds:
+            raise ValueError("at least one SSD is required")
+        for ssd in self.ssds:
+            if self.queue_pairs > ssd.max_queue_pairs:
+                raise ValueError(
+                    f"{ssd.name}: {self.queue_pairs} queue pairs exceed the "
+                    f"device limit of {ssd.max_queue_pairs}"
+                )
+            if self.queue_depth > ssd.max_queue_depth:
+                raise ValueError(
+                    f"{ssd.name}: queue depth {self.queue_depth} exceeds the "
+                    f"device limit of {ssd.max_queue_depth}"
+                )
+            if self.queue_depth < 2:
+                raise ValueError("queue depth must be at least 2")
+        if self.cache.line_size != self.ssds[0].page_size:
+            raise ValueError(
+                "cache line size must match the SSD page size "
+                "(paper section 2.3.3: lines align with SSD granularity)"
+            )
+        if self.cache.num_lines < 1:
+            raise ValueError("cache must have at least one line")
+
+
+def default_config(**overrides: object) -> SystemConfig:
+    """Build a :class:`SystemConfig`, applying keyword overrides."""
+    cfg = SystemConfig(**overrides)  # type: ignore[arg-type]
+    cfg.validate()
+    return cfg
+
+
+def describe(cfg: SystemConfig) -> Mapping[str, str]:
+    """Human-readable summary used by the benchmark harness headers."""
+    gpu = cfg.gpu
+    return {
+        "gpu": f"{gpu.num_sms} SMs @ {gpu.clock_ghz} GHz, "
+        f"{gpu.hbm_bandwidth_gbps} GB/s HBM",
+        "ssds": ", ".join(
+            f"{s.name} ({s.peak_read_bw * NS_PER_S / 1e9:.2f} GB/s rd, "
+            f"{s.peak_write_bw * NS_PER_S / 1e9:.2f} GB/s wr)"
+            for s in cfg.ssds
+        ),
+        "queues": f"{cfg.queue_pairs} QPs x depth {cfg.queue_depth} per SSD",
+        "cache": f"{cfg.cache.num_lines} x {cfg.cache.line_size} B "
+        f"({cfg.cache.policy})",
+    }

@@ -1,0 +1,252 @@
+"""Host-side orchestration — the paper's Listing 1 main() in library form.
+
+Typical use (mirrors Listing 1 lines 22-47)::
+
+    cfg = SystemConfig(...)                      # GPU + SSDs + queues
+    host = AgileHost(cfg)                        # init NVMe + AGILE ctrl
+    host.load_data(ssd_idx=0, start_lba=0, arr)  # place dataset on flash
+    with host:                                   # startAgile ... stopAgile
+        duration = host.run_kernel(kernel, LaunchConfig(grid, block), args)
+
+Kernel bodies receive ``(tc, ctrl, *args)``; each thread builds its own
+``AgileLockChain`` (Listing 1 line 6) or uses :func:`AgileHost.run_kernel`'s
+per-thread chain helper.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+import numpy as np
+
+from repro.config import SystemConfig
+from repro.core.cache import DramTier, SoftwareCache
+from repro.core.ctrl import AgileCtrl
+from repro.core.issue import IssueEngine
+from repro.core.locks import LockDebugger
+from repro.core.policies import CachePolicy, make_policy
+from repro.core.service import AgileService
+from repro.core.sharetable import SharePolicy, ShareTable
+from repro.core.buffers import AgileBuf
+from repro.gpu.device import Gpu, KernelLaunch
+from repro.gpu.kernel import KernelSpec, LaunchConfig
+from repro.nvme.driver import NvmeDriver
+from repro.nvme.flash import load_array, read_array
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngStreams
+from repro.sim.trace import TraceRecorder
+
+
+class AgileHost:
+    """Owns the simulated machine and the AGILE runtime on top of it."""
+
+    def __init__(
+        self,
+        cfg: Optional[SystemConfig] = None,
+        *,
+        policy: Optional[CachePolicy] = None,
+        share_policy: Optional[SharePolicy] = None,
+        debug_locks: bool = True,
+        hbm_capacity: Optional[int] = None,
+        watchdog_ns: float = 0.0,
+    ):
+        self.cfg = cfg if cfg is not None else SystemConfig()
+        self.cfg.validate()
+        self.sim = Simulator(watchdog_ns=watchdog_ns)
+        self.rng = RngStreams(self.cfg.seed)
+        self.trace = TraceRecorder()
+        capacity = hbm_capacity
+        if capacity is None:
+            capacity = self.cfg.cache.capacity_bytes + (64 << 20)
+        self.gpu = Gpu(self.sim, self.cfg.gpu, hbm_capacity=capacity)
+        self.debugger = LockDebugger(enabled=debug_locks)
+
+        # -- addNvmeDev / initNvme ------------------------------------------
+        self.driver = NvmeDriver(self.sim, self.gpu.hbm)
+        self.ssds = [
+            self.driver.add_device(scfg, gpu_pipe=self.gpu.pcie_pipe)
+            for scfg in self.cfg.ssds
+        ]
+        self.queue_pairs = [
+            self.driver.create_io_queues(
+                ssd, self.cfg.queue_pairs, self.cfg.queue_depth
+            )
+            for ssd in self.ssds
+        ]
+
+        # -- initializeAgile -------------------------------------------------
+        self.issue = IssueEngine(
+            self.sim,
+            self.ssds,
+            self.queue_pairs,
+            self.cfg.api,
+            debugger=self.debugger,
+            stats=self.trace.group("io"),
+        )
+        cache_policy = policy if policy is not None else make_policy(
+            self.cfg.cache.policy
+        )
+        dram_tier = (
+            DramTier(self.cfg.cache.dram_tier_lines)
+            if self.cfg.cache.dram_tier_lines > 0
+            else None
+        )
+        self.cache = SoftwareCache(
+            self.sim,
+            self.cfg.cache,
+            self.gpu.hbm,
+            cache_policy,
+            self.issue,
+            self.cfg.api,
+            dram_tier=dram_tier,
+            debugger=self.debugger,
+            stats=self.trace.group("cache"),
+        )
+        self.share_table: Optional[ShareTable] = None
+        if self.cfg.cache.share_table:
+            self.share_table = ShareTable(
+                self.sim,
+                self.cache,
+                self.cfg.api,
+                policy=share_policy,
+                stats=self.trace.group("share"),
+            )
+        self.service = AgileService(
+            self.sim,
+            self.gpu,
+            self.issue,
+            self.cfg.service,
+            stats=self.trace.group("service"),
+        )
+        self.ctrl = AgileCtrl(
+            self.sim,
+            self.cfg,
+            self.cache,
+            self.issue,
+            self.share_table,
+            stats=self.trace.group("ctrl"),
+        )
+
+    # -- data staging (host side, no simulated time) -------------------------
+
+    def load_data(
+        self, ssd_idx: int, start_lba: int, data: np.ndarray
+    ) -> int:
+        """Place a dataset on one SSD's flash; returns pages written."""
+        return load_array(self.ssds[ssd_idx].flash, start_lba, data)
+
+    def load_data_striped(self, start_lba: int, data: np.ndarray) -> int:
+        """Stripe a dataset page-interleaved across all SSDs (the paper's
+        multi-SSD layout: request i goes to SSD ``i mod n``).  Page ``p`` of
+        the logical array lands at LBA ``start_lba + p // n`` of SSD
+        ``p mod n``.  Returns the number of logical pages."""
+        raw = np.ascontiguousarray(data).view(np.uint8).reshape(-1)
+        page = self.cfg.ssds[0].page_size
+        n = len(self.ssds)
+        n_pages = (raw.size + page - 1) // page
+        for p in range(n_pages):
+            chunk = raw[p * page : (p + 1) * page]
+            buf = np.zeros(page, dtype=np.uint8)
+            buf[: chunk.size] = chunk
+            self.ssds[p % n].flash.write_page_data(start_lba + p // n, buf)
+        return n_pages
+
+    def read_flash(
+        self,
+        ssd_idx: int,
+        start_lba: int,
+        nbytes: int,
+        dtype: np.dtype | str = np.uint8,
+    ) -> np.ndarray:
+        """Read a dataset back from flash (verification helper)."""
+        return read_array(self.ssds[ssd_idx].flash, start_lba, nbytes, dtype)
+
+    def preload_cache(self, ssd_idx: int, lbas: Sequence[int]) -> None:
+        """Install pages into the software cache without NVMe traffic — the
+        paper's Fig. 11 step-3 methodology (cache-API overhead isolation)."""
+        flash = self.ssds[ssd_idx].flash
+        for lba in lbas:
+            self.cache.preload(ssd_idx, lba, flash.read_page_data(lba))
+
+    # -- buffers ---------------------------------------------------------------
+
+    def alloc_view(self, nbytes: int, label: str = "user") -> np.ndarray:
+        return self.gpu.hbm.alloc(nbytes, label=label).view
+
+    def make_buffer(self, nbytes: Optional[int] = None, label: str = "") -> AgileBuf:
+        """Allocate and register a user buffer (one cache line by default)."""
+        size = nbytes if nbytes is not None else self.cfg.cache.line_size
+        return self.ctrl.make_buffer(self.alloc_view(size), label=label)
+
+    # -- service lifecycle --------------------------------------------------------
+
+    def start(self) -> None:
+        """``host.startAgile()``."""
+        self.service.start()
+
+    def stop(self) -> None:
+        """``host.stopAgile()``."""
+        self.service.stop()
+
+    def __enter__(self) -> "AgileHost":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # -- kernel execution ------------------------------------------------------------
+
+    def launch_kernel(
+        self,
+        kernel: KernelSpec,
+        launch_cfg: LaunchConfig,
+        args: Sequence[Any] = (),
+    ) -> KernelLaunch:
+        """Launch without blocking; the AGILE service SM stays reserved."""
+        if not self.service.running:
+            raise RuntimeError(
+                "start the AGILE service before launching kernels "
+                "(paper Listing 1 line 40)"
+            )
+        return self.gpu.launch(
+            kernel, launch_cfg, args=(self.ctrl, *args), reserve_sms=1
+        )
+
+    def run_kernel(
+        self,
+        kernel: KernelSpec,
+        launch_cfg: LaunchConfig,
+        args: Sequence[Any] = (),
+    ) -> float:
+        """Launch ``kernel`` and run the simulation until it completes;
+        returns the kernel duration in simulated ns."""
+        launch = self.launch_kernel(kernel, launch_cfg, args)
+
+        def waiter():
+            yield launch.done
+
+        proc = self.sim.spawn(waiter(), name=f"{kernel.name}.host_wait")
+        self.sim.run(until_procs=[proc])
+        return launch.duration
+
+    def drain(self, poll_ns: float = 2_000.0) -> None:
+        """Run the simulation until no NVMe commands are in flight (the
+        service must be running).  Use after kernels that end with
+        asynchronous work outstanding, e.g. a trailing prefetch epoch."""
+        if self.issue.inflight() == 0:
+            return
+        if not self.service.running:
+            raise RuntimeError("cannot drain I/O with the service stopped")
+
+        def waiter():
+            while self.issue.inflight() > 0:
+                yield self.sim.timeout(poll_ns)
+
+        proc = self.sim.spawn(waiter(), name="host.drain")
+        self.sim.run(until_procs=[proc])
+
+    # -- introspection -----------------------------------------------------------------
+
+    def stats(self) -> dict[str, dict[str, float]]:
+        return self.trace.snapshot()

@@ -1,0 +1,174 @@
+"""NVMe request issuing — the paper's Algorithm 2.
+
+Per-SQE life cycle (EMPTY/UPDATED/ISSUED) lives in
+:class:`repro.nvme.queue.SubmissionQueue`; this module adds the thread-side
+protocol:
+
+1. pick an SQ by thread index, falling over to the next SQ when full
+   (``attempt_enqueue``);
+2. if *every* SQ is full, back off until the AGILE service recycles SQEs —
+   the thread waits on completions it does **not** own, which is exactly
+   what makes the scheme deadlock-free (contrast Figure 1);
+3. write the command, mark the SQE UPDATED;
+4. loop ``attempt_SQDB``: whoever wins the doorbell lock batches every
+   contiguous UPDATED entry into one tail move and one MMIO write, then all
+   threads re-check whether their own SQE became ISSUED.
+
+The returned :class:`~repro.core.buffers.Transaction` is the barrier the
+AGILE service clears at completion time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Generator, List, Optional
+
+import numpy as np
+
+from repro.config import ApiCostConfig
+from repro.core.buffers import Transaction
+from repro.core.locks import AgileLock, AgileLockChain, LockDebugger
+from repro.gpu.thread import ThreadContext
+from repro.nvme.command import SQE_SIZE, NvmeCommand, Opcode
+from repro.nvme.device import SsdController
+from repro.nvme.queue import QueuePair, SlotState
+from repro.sim.engine import SimError, Simulator, Timeout
+from repro.sim.trace import Counter
+
+
+@dataclass
+class PendingCommand:
+    """Service-side record pairing a CID with its SQE and barrier."""
+
+    txn: Transaction
+    qp: QueuePair
+    slot: int
+    ssd_idx: int
+
+
+class IssueEngine:
+    """Shared issuing state: queue pairs, doorbell locks, transaction table."""
+
+    #: Initial back-off when every SQ of an SSD is full (ns).
+    FULL_BACKOFF_NS = 400.0
+    #: Cap for the exponential full-queue back-off (ns).
+    MAX_BACKOFF_NS = 12_000.0
+    #: Back-off between doorbell-lock attempts (ns).
+    DOORBELL_BACKOFF_NS = 60.0
+
+    def __init__(
+        self,
+        sim: Simulator,
+        ssds: List[SsdController],
+        queue_pairs: List[List[QueuePair]],
+        api: ApiCostConfig,
+        debugger: Optional[LockDebugger] = None,
+        stats: Optional[Counter] = None,
+    ):
+        if len(ssds) != len(queue_pairs):
+            raise ValueError("one queue-pair list per SSD required")
+        self.sim = sim
+        self.ssds = ssds
+        self.queue_pairs = queue_pairs
+        self.api = api
+        self.stats = stats if stats is not None else Counter()
+        #: One lock per SQ doorbell (the serialization point of §2.3.3).
+        self.doorbell_locks: Dict[tuple[int, int], AgileLock] = {
+            (si, qp.qid): AgileLock(sim, f"sqdb.s{si}.q{qp.qid}", debugger)
+            for si, qps in enumerate(queue_pairs)
+            for qp in qps
+        }
+        #: (ssd_idx, qid, cid) -> in-flight command record.
+        self.pending: Dict[tuple[int, int, int], PendingCommand] = {}
+        self._txn_seq = 0
+
+    # -- public API ----------------------------------------------------------
+
+    def num_ssds(self) -> int:
+        return len(self.ssds)
+
+    def submit(
+        self,
+        tc: ThreadContext,
+        chain: AgileLockChain,
+        ssd_idx: int,
+        opcode: Opcode,
+        lba: int,
+        data: Optional[np.ndarray],
+        label: str = "io",
+    ) -> Generator[Any, Any, Transaction]:
+        """Issue one NVMe command asynchronously; returns its transaction.
+
+        Deadlock-free by construction: the calling thread never *holds* an
+        SQE while blocking — a reserved SQE always progresses to ISSUED
+        without waiting on other threads, and full queues are drained by
+        the background service, not by this thread.
+        """
+        if not 0 <= ssd_idx < len(self.ssds):
+            raise SimError(f"no SSD {ssd_idx} (have {len(self.ssds)})")
+        qps = self.queue_pairs[ssd_idx]
+        yield from tc.compute(self.api.issue_setup_cycles)
+
+        # -- attempt_enqueue: select an SQ with a free entry ---------------
+        start = tc.tid % len(qps)
+        attempt = 0
+        backoff = self.FULL_BACKOFF_NS
+        while True:
+            qp = qps[(start + attempt) % len(qps)]
+            yield from tc.atomic()  # the reservation CAS
+            reservation = qp.sq.try_reserve()
+            if reservation is not None:
+                break
+            attempt += 1
+            self.stats.add("sq_full_retries")
+            if attempt % len(qps) == 0:
+                # All SQs full: wait (with exponential back-off) for the
+                # service to recycle entries — the Fig. 9 single-QP stall.
+                self.stats.add("sq_full_backoffs")
+                yield Timeout(backoff)
+                backoff = min(backoff * 2, self.MAX_BACKOFF_NS)
+        slot, cid = reservation
+
+        # -- build and publish the command ----------------------------------
+        self._txn_seq += 1
+        txn = Transaction(self.sim, label=f"{label}.{self._txn_seq}")
+        self.pending[(ssd_idx, qp.qid, cid)] = PendingCommand(
+            txn=txn, qp=qp, slot=slot, ssd_idx=ssd_idx
+        )
+        cmd = NvmeCommand(opcode=opcode, cid=cid, lba=lba, data=data)
+        yield from tc.hbm_store(SQE_SIZE)
+        qp.sq.publish(slot, cmd)
+        self.stats.add("commands_submitted")
+        self.stats.add(f"opcode_{opcode.name.lower()}")
+
+        # -- attempt_SQDB: serialize the doorbell update ---------------------
+        db_lock = self.doorbell_locks[(ssd_idx, qp.qid)]
+        while True:
+            if db_lock.try_acquire(chain):
+                try:
+                    tail = qp.sq.advance_tail()
+                    if tail is not None:
+                        yield from qp.sq.doorbell.ring(tail)
+                        self.stats.add("doorbell_rings")
+                finally:
+                    db_lock.release(chain)
+            else:
+                self.stats.add("doorbell_contended")
+            if qp.sq.state[slot] is SlotState.ISSUED:
+                return txn
+            yield Timeout(self.DOORBELL_BACKOFF_NS)
+
+    # -- service-side hooks --------------------------------------------------------
+
+    def complete(self, ssd_idx: int, qid: int, cid: int) -> PendingCommand:
+        """Look up and retire the pending record for a completion; releases
+        the SQE so the slot can be reused (Fig. 3 step 2)."""
+        key = (ssd_idx, qid, cid)
+        record = self.pending.pop(key, None)
+        if record is None:
+            raise SimError(f"completion for unknown command {key}")
+        record.qp.sq.release(record.slot)
+        return record
+
+    def inflight(self) -> int:
+        return len(self.pending)

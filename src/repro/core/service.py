@@ -1,0 +1,155 @@
+"""The lightweight AGILE service (paper §3.2): a background GPU kernel that
+polls completion queues and releases shared resources on behalf of user
+threads.
+
+Algorithm 1 (warp-centric CQ polling) maps onto the simulator as follows:
+each polling warp is one daemon process; it rotates round-robin over its
+partition of the registered CQs; per visit it examines a 32-entry window
+(offset + mask + phase bit).  The warp's 32 lanes check the window's CQEs
+in parallel, so one visit costs a single ``poll_iteration_cycles`` charge on
+the service SM regardless of how many of the 32 entries are valid — that
+intra-CQ parallelism is exactly why few service warps keep up with many
+application threads.
+
+For every completion found the service:
+
+1. releases the matching SQE via the CID -> slot mapping (Fig. 3, step 2),
+   letting threads stuck on a full SQ proceed — the deadlock-elimination
+   mechanism;
+2. runs the transaction's completion action (cache-line READY, user-buffer
+   ready, eviction bookkeeping);
+3. clears the transaction barrier (Fig. 3, step 3).
+
+The CQ head doorbell is rung whenever a full 32-entry window has been
+consumed (Algorithm 1 lines 9-10), with a safety valve that also rings when
+more than half the queue is pending release, so low-traffic phases cannot
+stall the SSD.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List, Optional
+
+from repro.config import ServiceConfig
+from repro.core.issue import IssueEngine
+from repro.gpu.device import Gpu
+from repro.nvme.queue import CompletionQueue
+from repro.sim.engine import Process, Simulator, Timeout
+from repro.sim.trace import Counter
+
+#: Lanes in a polling warp == CQEs examined per visit (Algorithm 1).
+WINDOW = 32
+
+
+class AgileService:
+    """Manager for the polling-warp daemons."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        gpu: Gpu,
+        issue: IssueEngine,
+        cfg: ServiceConfig,
+        stats: Optional[Counter] = None,
+    ):
+        self.sim = sim
+        self.gpu = gpu
+        self.issue = issue
+        self.cfg = cfg
+        self.stats = stats if stats is not None else Counter()
+        #: (ssd_idx, CompletionQueue) in registration order.
+        self.cqs: List[tuple[int, CompletionQueue]] = [
+            (si, qp.cq)
+            for si, qps in enumerate(issue.queue_pairs)
+            for qp in qps
+        ]
+        #: Monotonic position up to which each CQ's head doorbell was rung.
+        self._doorbelled = {id(cq): 0 for _, cq in self.cqs}
+        self._procs: list[Process] = []
+        #: The service runs on the last SM (reserved by the host when
+        #: launching application kernels).
+        self.service_sm = gpu.sms[-1]
+
+    # -- lifecycle --------------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        return any(p.alive for p in self._procs)
+
+    def start(self) -> None:
+        """``host.startAgile()``: spawn the polling warps."""
+        if self.running:
+            return
+        self._procs = [
+            self.sim.spawn(
+                self._polling_warp(w),
+                name=f"agile.service.w{w}",
+                daemon=True,
+            )
+            for w in range(self.cfg.polling_warps)
+        ]
+
+    def stop(self) -> None:
+        """``host.stopAgile()``: terminate the polling warps."""
+        for p in self._procs:
+            p.kill()
+        self._procs = []
+
+    # -- Algorithm 1 -----------------------------------------------------------------
+
+    def _partition(self, warp_idx: int) -> List[tuple[int, CompletionQueue]]:
+        """CQs assigned to one polling warp (round-robin split)."""
+        return self.cqs[warp_idx :: self.cfg.polling_warps]
+
+    def _polling_warp(self, warp_idx: int) -> Generator[Any, Any, None]:
+        my_cqs = self._partition(warp_idx)
+        if not my_cqs:
+            return
+        idx = 0
+        while True:
+            found_any = False
+            for _ in range(len(my_cqs)):
+                ssd_idx, cq = my_cqs[idx]
+                idx = (idx + 1) % len(my_cqs)
+                yield from self.service_sm.compute(self.cfg.poll_iteration_cycles)
+                processed = yield from self._poll_cq(ssd_idx, cq)
+                if processed:
+                    found_any = True
+                    break  # revisit queues promptly while traffic flows
+            if not found_any:
+                yield Timeout(self.cfg.idle_poll_ns)
+
+    def _poll_cq(
+        self, ssd_idx: int, cq: CompletionQueue
+    ) -> Generator[Any, Any, int]:
+        """Process the current 32-entry window of one CQ; returns the number
+        of completions handled."""
+        window_start = cq.host_head - (cq.host_head % WINDOW)
+        window_end = window_start + WINDOW
+        processed = 0
+        pos = cq.host_head
+        # All 32 lanes probe their CQE concurrently; the simulator walks the
+        # same window sequentially but charges only the single warp-wide
+        # iteration cost (already paid by the caller).
+        while pos < window_end:
+            completion = cq.peek(pos)
+            if completion is None:
+                break
+            record = self.issue.complete(ssd_idx, completion.sq_id, completion.cid)
+            record.txn.finish(completion)
+            processed += 1
+            pos += 1
+        if processed:
+            cq.consume_to(pos)
+            self.stats.add("completions_processed", processed)
+            yield from self.service_sm.compute(2.0 * processed)
+        if pos == window_end or (
+            cq.host_head - self._doorbelled[id(cq)] > cq.depth // 2
+        ):
+            # Window fully consumed (Algorithm 1 lines 9-10) or the safety
+            # valve tripped: notify the SSD so it can reuse CQEs.
+            if cq.host_head > self._doorbelled[id(cq)]:
+                self._doorbelled[id(cq)] = cq.host_head
+                yield from cq.doorbell.ring(cq.host_head)
+                self.stats.add("cq_doorbell_rings")
+        return processed

@@ -1,0 +1,31 @@
+"""GPU substrate: SIMT execution model for the simulator.
+
+Threads are simulation processes grouped into warps; warps are grouped into
+thread blocks that are dispatched onto streaming multiprocessors subject to
+the same static resource limits as real hardware (resident blocks, resident
+warps, register file).  Each SM's instruction issue is a capped fair-share
+server, which reproduces the two scheduling behaviours the paper leans on:
+
+- warp-level latency hiding: warps stalled on I/O consume no issue slots,
+  so ready warps run at full speed (paper §2.2);
+- its limits: when *every* warp is stalled on I/O the SM idles, which is
+  exactly the gap AGILE's thread-level asynchrony fills.
+"""
+
+from repro.gpu.device import Gpu, KernelLaunch
+from repro.gpu.kernel import KernelSpec, LaunchConfig, occupancy
+from repro.gpu.sm import StreamingMultiprocessor
+from repro.gpu.thread import ThreadContext
+from repro.gpu.warp import CoalesceSlot, Warp
+
+__all__ = [
+    "Gpu",
+    "KernelLaunch",
+    "KernelSpec",
+    "LaunchConfig",
+    "occupancy",
+    "StreamingMultiprocessor",
+    "ThreadContext",
+    "Warp",
+    "CoalesceSlot",
+]

@@ -1,0 +1,47 @@
+"""Live-interval analysis over KIR traces."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.kir.ops import Trace, VReg
+
+
+def live_intervals(trace: Trace) -> Dict[VReg, Tuple[int, int]]:
+    """Map each vreg to its ``[first_def, last_use]`` interval.
+
+    Pinned values live over the entire trace.  A value defined but never
+    used still occupies its register at the defining instruction.
+    """
+    intervals: Dict[VReg, Tuple[int, int]] = {}
+    end = max(len(trace.instrs) - 1, 0)
+    for reg in trace.pinned:
+        intervals[reg] = (0, end)
+    for idx, instr in enumerate(trace.instrs):
+        for reg in instr.dst:
+            if reg in intervals:
+                lo, hi = intervals[reg]
+                intervals[reg] = (min(lo, idx), max(hi, idx))
+            else:
+                intervals[reg] = (idx, idx)
+        for reg in instr.src:
+            if reg in intervals:
+                lo, hi = intervals[reg]
+                intervals[reg] = (lo, max(hi, idx))
+            else:
+                # Used before any visible definition: a kernel parameter;
+                # treat as live from trace entry.
+                intervals[reg] = (0, idx)
+    return intervals
+
+
+def pressure_profile(trace: Trace) -> List[int]:
+    """Register pressure (in 32-bit registers) at each instruction point."""
+    n = len(trace.instrs)
+    if n == 0:
+        return [sum(r.width for r in trace.pinned)] if trace.pinned else []
+    profile = [0] * n
+    for reg, (lo, hi) in live_intervals(trace).items():
+        for i in range(lo, hi + 1):
+            profile[i] += reg.width
+    return profile

@@ -1,0 +1,77 @@
+"""Dependency-aware overlap pass (the paper's §5 compiler direction).
+
+AGILE exposes asynchrony, but programmers must *place* the issue points by
+hand.  This pass automates the transformation the paper sketches: hoist
+instructions tagged ``kind='issue'`` (asynchronous load starts) as early as
+their data dependencies allow, so the distance between an issue and the
+first ``kind='use'`` of its result — the window AGILE can overlap with
+compute — is maximized.
+
+The pass is a stable list scheduler: it never reorders two instructions
+with a def-use or use-def dependency, and non-issue instructions keep their
+relative order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.kir.ops import Instr, Trace
+
+
+def _writes(instr: Instr) -> Set[int]:
+    return {r.vid for r in instr.dst}
+
+
+def _reads(instr: Instr) -> Set[int]:
+    return {r.vid for r in instr.src}
+
+
+def _depends(later: Instr, earlier: Instr) -> bool:
+    """True if ``later`` must stay after ``earlier``."""
+    ew, er = _writes(earlier), _reads(earlier)
+    lw, lr = _writes(later), _reads(later)
+    return bool(
+        (lr & ew)  # RAW
+        or (lw & er)  # WAR
+        or (lw & ew)  # WAW
+        or (later.op == earlier.op == "st.mmio")  # doorbell order
+    )
+
+
+def reorder_for_overlap(trace: Trace) -> Trace:
+    """Return a new trace with issue instructions hoisted maximally."""
+    instrs = list(trace.instrs)
+    changed = True
+    while changed:
+        changed = False
+        for i in range(1, len(instrs)):
+            if instrs[i].kind != "issue":
+                continue
+            j = i
+            while j > 0 and not _depends(instrs[i], instrs[j - 1]) and (
+                instrs[j - 1].kind != "issue"
+            ):
+                j -= 1
+            if j < i:
+                instr = instrs.pop(i)
+                instrs.insert(j, instr)
+                changed = True
+    return Trace(name=f"{trace.name}.overlapped", instrs=instrs,
+                 pinned=list(trace.pinned))
+
+
+def overlap_distance(trace: Trace) -> int:
+    """Sum over issue instructions of the distance to the next 'use'
+    instruction — the total latency-hiding window the schedule exposes."""
+    total = 0
+    for i, instr in enumerate(trace.instrs):
+        if instr.kind != "issue":
+            continue
+        for j in range(i + 1, len(trace.instrs)):
+            if trace.instrs[j].kind == "use":
+                total += j - i
+                break
+        else:
+            total += len(trace.instrs) - i
+    return total

@@ -1,0 +1,28 @@
+"""Register-pressure estimation (the Figure 12 stand-in for nvcc).
+
+A linear-scan allocator without spilling needs exactly the peak number of
+simultaneously live registers; real compilers add a fixed overhead for the
+ABI, special registers kept in the general file, and scheduling slack.
+``ABI_OVERHEAD`` is calibrated once so that the AGILE service-kernel trace
+costs 37 registers — the one absolute number the paper reports (§4.6) —
+and every other kernel is measured with the same constant.
+"""
+
+from __future__ import annotations
+
+from repro.kir.liveness import pressure_profile
+from repro.kir.ops import Trace
+
+#: Fixed register overhead: ABI scratch, grid/block id math, predicates.
+ABI_OVERHEAD = 12
+
+
+def max_pressure(trace: Trace) -> int:
+    """Peak simultaneous live registers (32-bit units) in the trace."""
+    profile = pressure_profile(trace)
+    return max(profile) if profile else 0
+
+
+def estimate_registers(trace: Trace, abi_overhead: int = ABI_OVERHEAD) -> int:
+    """Estimated per-thread register count for a kernel trace."""
+    return max_pressure(trace) + abi_overhead

@@ -1,0 +1,49 @@
+"""Host DRAM tier.
+
+Used for (a) the NVMe admin queues the host CPU manages during
+initialization (paper §3.1) and (b) the optional DRAM level of the software
+cache hierarchy — the first future-work extension in the paper's §5, which
+this reproduction implements (see ``repro.core.cache.DramTier``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+import numpy as np
+
+from repro.mem.address import BumpAllocator
+from repro.sim.engine import Simulator, Timeout
+from repro.sim.resources import FifoServer
+
+
+class HostDram:
+    """Host memory reachable from the GPU over PCIe.
+
+    Timing for GPU-side access = PCIe round trip + DRAM service; the PCIe
+    cost dominates, which is why the DRAM tier sits *between* HBM and flash
+    in the hierarchy (~1 us vs ~450 ns HBM vs ~50 us flash).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        capacity: int = 1 << 30,
+        bytes_per_ns: float = 25.0,
+        latency_ns: float = 90.0,
+    ):
+        self.sim = sim
+        self.latency_ns = latency_ns
+        self.bytes_per_ns = bytes_per_ns
+        self.allocator = BumpAllocator(capacity)
+        self.backing = np.zeros(capacity, dtype=np.uint8)
+        self._port = FifoServer(sim, name="dram.port")
+
+    def alloc_view(self, size: int, align: int = 64) -> np.ndarray:
+        alloc = self.allocator.alloc(size, align)
+        return self.backing[alloc.addr : alloc.end]
+
+    def access(self, nbytes: int) -> Generator[Any, Any, None]:
+        """Local (CPU-side) DRAM access."""
+        yield from self._port.process(nbytes / self.bytes_per_ns)
+        yield Timeout(self.latency_ns)

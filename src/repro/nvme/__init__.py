@@ -1,0 +1,43 @@
+"""NVMe substrate: commands, queue pairs, flash array, SSD controller.
+
+Implements the protocol state machines from paper §2.1 faithfully:
+
+- submission queues (SQ) with tail pointers, per-entry life cycle, and tail
+  doorbells rung by the GPU over MMIO;
+- completion queues (CQ) with phase bits, head doorbells, and SSD-side
+  stalling when a CQ fills up;
+- 16-bit command identifiers (CID) that pair out-of-order completions with
+  their submission entries;
+- an SSD controller that fetches SQEs by DMA after a doorbell, executes
+  them against a channel-parallel flash array, DMAs data to/from simulated
+  GPU HBM, and posts CQEs.
+"""
+
+from repro.nvme.command import (
+    CQE_SIZE,
+    SQE_SIZE,
+    NvmeCommand,
+    NvmeCompletion,
+    Opcode,
+    Status,
+)
+from repro.nvme.queue import CompletionQueue, QueuePair, SlotState, SubmissionQueue
+from repro.nvme.flash import FlashArray
+from repro.nvme.device import SsdController
+from repro.nvme.driver import NvmeDriver
+
+__all__ = [
+    "Opcode",
+    "Status",
+    "NvmeCommand",
+    "NvmeCompletion",
+    "SQE_SIZE",
+    "CQE_SIZE",
+    "SlotState",
+    "SubmissionQueue",
+    "CompletionQueue",
+    "QueuePair",
+    "FlashArray",
+    "SsdController",
+    "NvmeDriver",
+]

@@ -1,0 +1,83 @@
+"""NVMe command and completion structures.
+
+The real structures are 64-byte SQ entries and 16-byte CQ entries; the
+simulator keeps those sizes for DMA timing while carrying the payload as
+Python objects.  The 16-bit CID field is the key protocol element: the
+paper's AGILE service uses it to pair out-of-order completions with the
+submission-queue entries whose locks must be released (§3.2.1).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+import numpy as np
+
+#: Size of one submission-queue entry in bytes (NVMe spec).
+SQE_SIZE = 64
+#: Size of one completion-queue entry in bytes (NVMe spec).
+CQE_SIZE = 16
+#: CIDs are a 16-bit field in the NVMe command.
+MAX_CID = 0xFFFF
+
+
+class Opcode(enum.IntEnum):
+    """NVM command set opcodes used in this reproduction."""
+
+    FLUSH = 0x00
+    WRITE = 0x01
+    READ = 0x02
+
+
+class Status(enum.IntEnum):
+    """Completion status codes (generic command status subset)."""
+
+    SUCCESS = 0x0
+    INVALID_OPCODE = 0x1
+    LBA_OUT_OF_RANGE = 0x80
+
+
+@dataclass
+class NvmeCommand:
+    """One submission-queue entry.
+
+    ``data`` is the DMA target: a NumPy ``uint8`` view of simulated HBM.
+    For READ the SSD writes the page there; for WRITE it reads from there.
+    This stands in for the PRP/SGL physical-address lists of real NVMe.
+    """
+
+    opcode: Opcode
+    cid: int
+    lba: int
+    num_pages: int = 1
+    data: Optional[np.ndarray] = None
+    #: Opaque cookie echoed to the issuer (the AGILE transaction handle).
+    context: Any = None
+    #: Filled in at submission time.
+    sq_id: int = -1
+    slot: int = -1
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.cid <= MAX_CID:
+            raise ValueError(f"CID {self.cid} outside the 16-bit range")
+        if self.num_pages < 1:
+            raise ValueError("num_pages must be >= 1")
+        if self.lba < 0:
+            raise ValueError("lba must be non-negative")
+
+
+@dataclass(frozen=True)
+class NvmeCompletion:
+    """One completion-queue entry (phase bit managed by the CQ ring)."""
+
+    cid: int
+    sq_id: int
+    sq_head: int
+    status: Status = Status.SUCCESS
+    context: Any = field(default=None, compare=False)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == Status.SUCCESS

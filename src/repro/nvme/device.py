@@ -1,0 +1,187 @@
+"""SSD controller: doorbell-triggered SQE fetch, flash execution, DMA, CQE post.
+
+Pipeline per command (paper §2.1):
+
+1. GPU rings the SQ tail doorbell; the doorbell observer wakes this SSD's
+   fetch loop for that queue.
+2. The controller DMA-reads the SQE from GPU HBM over its PCIe link.
+3. The command occupies one flash channel for a page read/program.
+4. Data moves by DMA between flash and the command's HBM target, consuming
+   the SSD link, the GPU link, and HBM bandwidth — and the *actual bytes*
+   are copied, so results are value-checked end to end.
+5. A CQE is posted to the completion queue with the correct phase bit; if
+   the CQ is full the controller stalls until the host rings the CQ head
+   doorbell (the stall the paper warns about in §2.1/§2.3.3).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+import numpy as np
+
+from repro.config import SsdConfig
+from repro.mem.hbm import Hbm
+from repro.mem.pcie import PcieLink
+from repro.nvme.command import (
+    CQE_SIZE,
+    SQE_SIZE,
+    NvmeCommand,
+    NvmeCompletion,
+    Opcode,
+    Status,
+)
+from repro.nvme.flash import FlashArray
+from repro.nvme.queue import QueuePair
+from repro.sim.engine import SimError, Simulator, Timeout
+from repro.sim.resources import BandwidthPipe
+
+
+class SsdController:
+    """One NVMe SSD attached over PCIe."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cfg: SsdConfig,
+        hbm: Hbm,
+        index: int = 0,
+        gpu_pipe: Optional[BandwidthPipe] = None,
+    ):
+        self.sim = sim
+        self.cfg = cfg
+        self.hbm = hbm
+        self.index = index
+        #: Shared pipe modelling the GPU's own PCIe x16 link (optional).
+        self.gpu_pipe = gpu_pipe
+        self.link = PcieLink(sim, cfg.pcie, name=f"{cfg.name}.pcie")
+        self.flash = FlashArray(sim, cfg)
+        self.queue_pairs: list[QueuePair] = []
+        self._fetcher_active: dict[int, bool] = {}
+        self.completed_reads = 0
+        self.completed_writes = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self.errors = 0
+
+    # -- registration ------------------------------------------------------------
+
+    def register_queue_pair(self, qp: QueuePair) -> None:
+        """Attach a queue pair: wire both doorbells to controller logic."""
+        if len(self.queue_pairs) >= self.cfg.max_queue_pairs:
+            raise SimError(
+                f"{self.cfg.name}: exceeded {self.cfg.max_queue_pairs} queue pairs"
+            )
+        self.queue_pairs.append(qp)
+        self._fetcher_active[qp.qid] = False
+        qp.sq.doorbell.observer = lambda _v, qp=qp: self._on_sq_doorbell(qp)
+        qp.cq.doorbell.observer = lambda _v, cq=qp.cq: cq.notify_space()
+
+    # -- SQ fetch path -------------------------------------------------------------
+
+    def _on_sq_doorbell(self, qp: QueuePair) -> None:
+        if self._fetcher_active[qp.qid]:
+            return
+        self._fetcher_active[qp.qid] = True
+        self.sim.spawn(
+            self._fetch_loop(qp),
+            name=f"{self.cfg.name}.fetch.q{qp.qid}",
+            daemon=True,
+        )
+
+    #: SQEs fetched per DMA burst (controllers batch command fetches).
+    FETCH_BATCH = 16
+
+    def _fetch_loop(self, qp: QueuePair) -> Generator[Any, Any, None]:
+        while qp.sq.device_pending() > 0:
+            batch = min(qp.sq.device_pending(), self.FETCH_BATCH)
+            yield from self.link.dma_read(SQE_SIZE * batch)
+            yield Timeout(self.cfg.sqe_fetch_ns)
+            for _ in range(batch):
+                cmd = qp.sq.device_fetch()
+                self.sim.spawn(
+                    self._execute(qp, cmd),
+                    name=f"{self.cfg.name}.exec.q{qp.qid}.c{cmd.cid}",
+                    daemon=True,
+                )
+        self._fetcher_active[qp.qid] = False
+        # Re-check: a doorbell may have landed while we were finishing.
+        if qp.sq.device_pending() > 0:
+            self._on_sq_doorbell(qp)
+
+    # -- command execution ------------------------------------------------------------
+
+    def _execute(self, qp: QueuePair, cmd: NvmeCommand) -> Generator[Any, Any, None]:
+        yield Timeout(self.cfg.cmd_overhead_ns)
+        status = Status.SUCCESS
+        nbytes = cmd.num_pages * self.cfg.page_size
+        if cmd.opcode is Opcode.READ:
+            if not self.flash.page_in_range(cmd.lba + cmd.num_pages - 1):
+                status = Status.LBA_OUT_OF_RANGE
+            else:
+                for p in range(cmd.num_pages):
+                    yield from self.flash.read_service(cmd.lba + p)
+                yield from self.link.dma_write(nbytes)
+                if self.gpu_pipe is not None:
+                    yield from self.gpu_pipe.transfer(nbytes)
+                if cmd.data is not None:
+                    self._copy_flash_to_target(cmd)
+                yield from self.hbm.store(nbytes)
+                self.completed_reads += 1
+                self.bytes_read += nbytes
+        elif cmd.opcode is Opcode.WRITE:
+            if not self.flash.page_in_range(cmd.lba + cmd.num_pages - 1):
+                status = Status.LBA_OUT_OF_RANGE
+            else:
+                yield from self.hbm.load(nbytes)
+                yield from self.link.dma_read(nbytes)
+                if self.gpu_pipe is not None:
+                    yield from self.gpu_pipe.transfer(nbytes)
+                if cmd.data is not None:
+                    self._copy_target_to_flash(cmd)
+                for p in range(cmd.num_pages):
+                    yield from self.flash.write_service(cmd.lba + p)
+                self.completed_writes += 1
+                self.bytes_written += nbytes
+        elif cmd.opcode is Opcode.FLUSH:
+            pass  # data is durable on program completion in this model
+        else:
+            status = Status.INVALID_OPCODE
+        if status is not Status.SUCCESS:
+            self.errors += 1
+        yield from self._post_completion(qp, cmd, status)
+
+    def _copy_flash_to_target(self, cmd: NvmeCommand) -> None:
+        page = self.cfg.page_size
+        for p in range(cmd.num_pages):
+            data = self.flash.read_page_data(cmd.lba + p)
+            cmd.data[p * page : (p + 1) * page] = data
+
+    def _copy_target_to_flash(self, cmd: NvmeCommand) -> None:
+        page = self.cfg.page_size
+        for p in range(cmd.num_pages):
+            chunk = np.asarray(cmd.data[p * page : (p + 1) * page])
+            self.flash.write_page_data(cmd.lba + p, chunk)
+
+    def _post_completion(
+        self, qp: QueuePair, cmd: NvmeCommand, status: Status
+    ) -> Generator[Any, Any, None]:
+        while not qp.cq.device_try_reserve():
+            ev = self.sim.event(name=f"cq{qp.qid}.space")
+            qp.cq.add_space_waiter(ev.trigger)
+            yield ev
+        yield Timeout(self.cfg.cqe_post_ns)
+        yield from self.link.dma_write(CQE_SIZE)
+        completion = NvmeCompletion(
+            cid=cmd.cid,
+            sq_id=qp.qid,
+            sq_head=qp.sq.fetch_head,
+            status=status,
+            context=cmd.context,
+        )
+        qp.cq.device_post(completion)
+
+    # -- stats ----------------------------------------------------------------------
+
+    def completed(self) -> int:
+        return self.completed_reads + self.completed_writes

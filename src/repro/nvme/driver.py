@@ -1,0 +1,79 @@
+"""Host-side NVMe administration (the CPU's role in AGILE, paper §3.1).
+
+The host CPU: binds each SSD to the AGILE driver, allocates physically
+contiguous, pinned queue memory in GPU HBM (the GDRCopy path), registers the
+queues with the SSD through admin commands, and exposes the SSDs' doorbell
+registers to the GPU.  All of that happens once at start-up, before any
+kernel runs, so the simulator performs it at t=0 without charging time —
+matching the paper's statement that initialization "must be performed at
+the beginning of the program".
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.config import SsdConfig
+from repro.mem.hbm import Hbm
+from repro.nvme.command import CQE_SIZE, SQE_SIZE
+from repro.nvme.device import SsdController
+from repro.nvme.queue import QueuePair, make_queue_pair
+from repro.sim.engine import SimError, Simulator
+from repro.sim.resources import BandwidthPipe
+
+
+class NvmeDriver:
+    """Creates controllers and I/O queue pairs; the admin-queue stand-in."""
+
+    def __init__(self, sim: Simulator, hbm: Hbm):
+        self.sim = sim
+        self.hbm = hbm
+        self.controllers: list[SsdController] = []
+
+    def add_device(
+        self, cfg: SsdConfig, gpu_pipe: Optional[BandwidthPipe] = None
+    ) -> SsdController:
+        """``host.addNvmeDev`` equivalent: attach one SSD."""
+        ctrl = SsdController(
+            self.sim, cfg, self.hbm, index=len(self.controllers), gpu_pipe=gpu_pipe
+        )
+        self.controllers.append(ctrl)
+        return ctrl
+
+    def create_io_queues(
+        self,
+        ctrl: SsdController,
+        num_pairs: int,
+        depth: int,
+        qid_base: int = 0,
+        hbm: Optional[Hbm] = None,
+    ) -> list[QueuePair]:
+        """``host.initNvme`` equivalent: allocate pinned ring memory in HBM
+        and register ``num_pairs`` I/O queue pairs with the controller.
+
+        ``qid_base`` and ``hbm`` support the paper's §5 multi-GPU sharing
+        scheme: each GPU receives its own disjoint queue-pair range of the
+        same SSD, with ring memory pinned in *that* GPU's HBM.
+        """
+        if num_pairs < 1:
+            raise SimError("need at least one I/O queue pair")
+        if qid_base + num_pairs > ctrl.cfg.max_queue_pairs:
+            raise SimError(
+                f"{ctrl.cfg.name} supports at most {ctrl.cfg.max_queue_pairs} "
+                f"queue pairs (requested up to {qid_base + num_pairs})"
+            )
+        memory = hbm if hbm is not None else self.hbm
+        pairs = []
+        for qid in range(qid_base, qid_base + num_pairs):
+            sq_buf = memory.alloc(
+                depth * SQE_SIZE, align=4096, label=f"{ctrl.cfg.name}.sq{qid}"
+            )
+            cq_buf = memory.alloc(
+                depth * CQE_SIZE, align=4096, label=f"{ctrl.cfg.name}.cq{qid}"
+            )
+            qp = make_queue_pair(
+                self.sim, qid, depth, sq_buf, cq_buf, ctrl.cfg.pcie
+            )
+            ctrl.register_queue_pair(qp)
+            pairs.append(qp)
+        return pairs

@@ -1,0 +1,112 @@
+"""Flash array: channel-parallel page storage with real data.
+
+Pages are stored sparsely (only pages ever written occupy host memory), so a
+simulated multi-terabyte SSD costs nothing until used.  Page ``p`` is served
+by channel ``p mod channels``; each channel is a FIFO server, which yields
+the classic flash throughput curve: bandwidth rises with concurrency until
+all channels are busy and then saturates at
+``channels * page_size / latency`` — the calibration anchor for the paper's
+Figures 5 and 6.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+import numpy as np
+
+from repro.config import SsdConfig
+from repro.sim.engine import Simulator
+from repro.sim.resources import FifoServer
+
+
+class FlashArray:
+    """NAND flash behind one SSD controller."""
+
+    def __init__(self, sim: Simulator, cfg: SsdConfig):
+        self.sim = sim
+        self.cfg = cfg
+        self._pages: dict[int, np.ndarray] = {}
+        self._channels = [
+            FifoServer(sim, name=f"{cfg.name}.ch{i}") for i in range(cfg.channels)
+        ]
+        self.reads = 0
+        self.writes = 0
+
+    # -- data plane ------------------------------------------------------------
+
+    def page_in_range(self, lba: int) -> bool:
+        return 0 <= lba < self.cfg.num_pages
+
+    def read_page_data(self, lba: int) -> np.ndarray:
+        """Current contents of a page (zeros if never written)."""
+        page = self._pages.get(lba)
+        if page is None:
+            return np.zeros(self.cfg.page_size, dtype=np.uint8)
+        return page
+
+    def write_page_data(self, lba: int, data: np.ndarray) -> None:
+        if data.size != self.cfg.page_size:
+            raise ValueError(
+                f"flash writes are page-granular: got {data.size} B, "
+                f"expected {self.cfg.page_size} B"
+            )
+        self._pages[lba] = np.array(data, dtype=np.uint8, copy=True)
+
+    def populated_pages(self) -> int:
+        return len(self._pages)
+
+    # -- timing plane ------------------------------------------------------------
+
+    def _channel(self, lba: int) -> FifoServer:
+        return self._channels[lba % self.cfg.channels]
+
+    def read_service(self, lba: int) -> Generator[Any, Any, None]:
+        """Occupy the page's channel for one flash read."""
+        self.reads += 1
+        yield from self._channel(lba).process(self.cfg.read_latency_ns)
+
+    def write_service(self, lba: int) -> Generator[Any, Any, None]:
+        """Occupy the page's channel for one flash program."""
+        self.writes += 1
+        yield from self._channel(lba).process(self.cfg.write_latency_ns)
+
+    def channel_utilization(self) -> float:
+        if not self._channels:
+            return 0.0
+        return sum(c.utilization() for c in self._channels) / len(self._channels)
+
+
+def load_array(
+    flash: FlashArray, start_lba: int, data: np.ndarray
+) -> int:
+    """Host-side helper: place ``data`` onto flash starting at ``start_lba``
+    (no simulated time — this models pre-loading the dataset before the
+    experiment starts, as the paper does with Criteo/GAP data).
+
+    Returns the number of pages written.
+    """
+    raw = np.ascontiguousarray(data).view(np.uint8).reshape(-1)
+    page = flash.cfg.page_size
+    n_pages = (raw.size + page - 1) // page
+    for i in range(n_pages):
+        chunk = raw[i * page : (i + 1) * page]
+        buf = np.zeros(page, dtype=np.uint8)
+        buf[: chunk.size] = chunk
+        flash.write_page_data(start_lba + i, buf)
+    return n_pages
+
+
+def read_array(
+    flash: FlashArray,
+    start_lba: int,
+    nbytes: int,
+    dtype: np.dtype | str = np.uint8,
+) -> np.ndarray:
+    """Host-side helper: gather ``nbytes`` from flash (no simulated time)."""
+    page = flash.cfg.page_size
+    n_pages = (nbytes + page - 1) // page
+    raw = np.concatenate(
+        [flash.read_page_data(start_lba + i) for i in range(n_pages)]
+    )[:nbytes]
+    return raw.view(dtype)

@@ -1,0 +1,408 @@
+"""Core event loop, processes, events, and timeouts.
+
+Times are floats in nanoseconds.  Ties are broken by a monotonically
+increasing sequence number, making runs bit-deterministic.
+
+Deadlock handling is first-class because the paper's motivating bug
+(Figure 1) *is* a deadlock: the engine detects both global deadlock (event
+heap empty while non-daemon processes still wait) and stalls (no non-daemon
+process has advanced for ``watchdog_ns`` of simulated time while daemons
+keep the heap warm), and reports which processes are stuck on what.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+SimGenerator = Generator[Any, Any, Any]
+
+
+class SimError(RuntimeError):
+    """Base class for simulation errors."""
+
+
+class SimDeadlockError(SimError):
+    """Raised when no events remain but non-daemon processes still wait."""
+
+
+class SimStallError(SimError):
+    """Raised when the watchdog sees no non-daemon progress for too long."""
+
+
+class Timeout:
+    """Awaitable delay.  ``yield Timeout(dt)`` resumes ``dt`` ns later."""
+
+    __slots__ = ("delay", "value")
+
+    def __init__(self, delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout: {delay}")
+        self.delay = delay
+        self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Timeout({self.delay})"
+
+
+class Event:
+    """One-shot event.  Processes yielding an untriggered event block until
+    :meth:`trigger` (resumed with the trigger value) or :meth:`fail` (the
+    exception is thrown into the waiting generator).
+
+    Yielding an already-triggered event resumes immediately — this makes
+    "maybe already done" barriers (e.g. AGILE transaction barriers) natural.
+    """
+
+    __slots__ = ("sim", "name", "_waiters", "_triggered", "_value", "_exc")
+
+    def __init__(self, sim: "Simulator", name: str = ""):
+        self.sim = sim
+        self.name = name
+        self._waiters: list[Process] = []
+        self._triggered = False
+        self._value: Any = None
+        self._exc: Optional[BaseException] = None
+
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def ok(self) -> bool:
+        """True once triggered successfully (not failed)."""
+        return self._triggered and self._exc is None
+
+    @property
+    def value(self) -> Any:
+        if not self._triggered:
+            raise SimError(f"event {self.name!r} not yet triggered")
+        if self._exc is not None:
+            raise self._exc
+        return self._value
+
+    def trigger(self, value: Any = None) -> None:
+        if self._triggered:
+            raise SimError(f"event {self.name!r} triggered twice")
+        self._triggered = True
+        self._value = value
+        waiters, self._waiters = self._waiters, []
+        for proc in waiters:
+            proc._schedule_resume(value)
+
+    def fail(self, exc: BaseException) -> None:
+        if self._triggered:
+            raise SimError(f"event {self.name!r} triggered twice")
+        self._triggered = True
+        self._exc = exc
+        waiters, self._waiters = self._waiters, []
+        for proc in waiters:
+            proc._schedule_throw(exc)
+
+    def _add_waiter(self, proc: "Process") -> None:
+        if self._triggered:
+            if self._exc is not None:
+                proc._schedule_throw(self._exc)
+            else:
+                proc._schedule_resume(self._value)
+        else:
+            self._waiters.append(proc)
+            proc._waiting_on = self
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "triggered" if self._triggered else "pending"
+        return f"Event({self.name!r}, {state})"
+
+
+class Process:
+    """A running simulation process wrapping a generator.
+
+    Yield targets: :class:`Timeout`, :class:`Event`, another
+    :class:`Process` (join), or ``None`` (yield the engine, resume at the
+    same timestamp after other pending events — a cooperative re-schedule).
+    """
+
+    __slots__ = (
+        "sim",
+        "name",
+        "daemon",
+        "_gen",
+        "alive",
+        "_done_event",
+        "value",
+        "_waiting_on",
+    )
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        gen: SimGenerator,
+        name: str = "proc",
+        daemon: bool = False,
+    ):
+        self.sim = sim
+        self.name = name
+        self.daemon = daemon
+        self._gen = gen
+        self.alive = True
+        self.value: Any = None
+        self._done_event = Event(sim, name=f"{name}.done")
+        self._waiting_on: Any = None
+
+    # -- engine plumbing ---------------------------------------------------
+
+    def _schedule_resume(self, value: Any) -> None:
+        self._waiting_on = None
+        self.sim._schedule(0.0, lambda: self._step_send(value))
+
+    def _schedule_throw(self, exc: BaseException) -> None:
+        self._waiting_on = None
+        self.sim._schedule(0.0, lambda: self._step_throw(exc))
+
+    def _step_send(self, value: Any) -> None:
+        if not self.alive:
+            return
+        if not self.daemon:
+            self.sim._note_progress()
+        try:
+            item = self._gen.send(value)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        except BaseException as exc:
+            self._finish_error(exc)
+            return
+        self._dispatch(item)
+
+    def _step_throw(self, exc: BaseException) -> None:
+        if not self.alive:
+            return
+        if not self.daemon:
+            self.sim._note_progress()
+        try:
+            item = self._gen.throw(exc)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        except BaseException as err:
+            self._finish_error(err)
+            return
+        self._dispatch(item)
+
+    def _dispatch(self, item: Any) -> None:
+        sim = self.sim
+        if item is None:
+            sim._schedule(0.0, lambda: self._step_send(None))
+        elif type(item) is Timeout:
+            self._waiting_on = item
+            sim._schedule(item.delay, lambda: self._step_send(item.value))
+        elif isinstance(item, Event):
+            item._add_waiter(self)
+        elif isinstance(item, Process):
+            item._done_event._add_waiter(self)
+        else:
+            exc = SimError(
+                f"process {self.name!r} yielded unsupported object {item!r}"
+            )
+            self._finish_error(exc)
+
+    def _finish(self, value: Any) -> None:
+        self.alive = False
+        self.value = value
+        self.sim._proc_finished(self)
+        self._done_event.trigger(value)
+
+    def _finish_error(self, exc: BaseException) -> None:
+        self.alive = False
+        self.sim._proc_finished(self)
+        if self._done_event._waiters:
+            self._done_event.fail(exc)
+        else:
+            # No joiner: surface the failure from the event loop itself.
+            self.sim._crash(exc, self)
+
+    # -- public API ----------------------------------------------------------
+
+    @property
+    def done_event(self) -> Event:
+        """Event triggered with the process return value on completion."""
+        return self._done_event
+
+    def kill(self) -> None:
+        """Terminate the process immediately (used to stop daemons)."""
+        if not self.alive:
+            return
+        self.alive = False
+        self._gen.close()
+        self.sim._proc_finished(self)
+        if not self._done_event.triggered:
+            self._done_event.trigger(None)
+
+    def waiting_description(self) -> str:
+        """Human-readable description of what this process is blocked on."""
+        target = self._waiting_on
+        if target is None:
+            return "runnable"
+        if isinstance(target, Event):
+            return f"event {target.name!r}"
+        if isinstance(target, Timeout):
+            return f"timeout {target.delay} ns"
+        return repr(target)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "alive" if self.alive else "done"
+        return f"Process({self.name!r}, {state})"
+
+
+class Simulator:
+    """The event loop.
+
+    Typical use::
+
+        sim = Simulator()
+        p = sim.spawn(my_generator(), name="worker")
+        sim.run()             # until no non-daemon work remains
+        print(sim.now, p.value)
+    """
+
+    def __init__(self, watchdog_ns: float = 0.0):
+        self.now: float = 0.0
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = 0
+        self._alive_nondaemon = 0
+        self._alive: set[Process] = set()
+        self._last_progress = 0.0
+        #: Simulated ns of daemon-only activity tolerated before declaring a
+        #: stall.  0 disables the watchdog.
+        self.watchdog_ns = watchdog_ns
+        self._crashed: Optional[tuple[BaseException, Process]] = None
+        self.event_count = 0
+        self._raw_pending = 0
+
+    # -- scheduling ----------------------------------------------------------
+
+    def _schedule(self, delay: float, fn: Callable[[], None]) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, fn))
+
+    def call_at(self, when: float, fn: Callable[[], None]) -> None:
+        """Schedule a raw callback at absolute simulated time ``when``.
+
+        Raw callbacks count as pending work: ``run()`` will not declare the
+        simulation finished while any are outstanding (e.g. an in-flight
+        doorbell value that has not yet reached the SSD).
+        """
+        if when < self.now:
+            raise ValueError(f"cannot schedule in the past: {when} < {self.now}")
+        self._raw_pending += 1
+
+        def wrapped() -> None:
+            self._raw_pending -= 1
+            fn()
+
+        self._schedule(when - self.now, wrapped)
+
+    def _note_progress(self) -> None:
+        self._last_progress = self.now
+
+    def _crash(self, exc: BaseException, proc: Process) -> None:
+        if self._crashed is None:
+            self._crashed = (exc, proc)
+
+    def _proc_finished(self, proc: Process) -> None:
+        self._alive.discard(proc)
+        if not proc.daemon:
+            self._alive_nondaemon -= 1
+
+    # -- process management ---------------------------------------------------
+
+    def spawn(
+        self, gen: SimGenerator, name: str = "proc", daemon: bool = False
+    ) -> Process:
+        """Create a process from a generator and schedule its first step."""
+        proc = Process(self, gen, name=name, daemon=daemon)
+        self._alive.add(proc)
+        if not daemon:
+            self._alive_nondaemon += 1
+        self._schedule(0.0, lambda: proc._step_send(None))
+        return proc
+
+    def event(self, name: str = "") -> Event:
+        return Event(self, name=name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(delay, value)
+
+    # -- running ---------------------------------------------------------------
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        until_procs: Optional[Iterable[Process]] = None,
+        max_events: Optional[int] = None,
+    ) -> None:
+        """Drive the event loop.
+
+        Stops when: all non-daemon processes finish; simulated time reaches
+        ``until``; all of ``until_procs`` complete; or ``max_events`` events
+        have been processed.  Raises :class:`SimDeadlockError` if the heap
+        drains while non-daemon processes still wait, and
+        :class:`SimStallError` if the watchdog fires.
+        """
+        targets = list(until_procs) if until_procs is not None else None
+        heap = self._heap
+        while heap:
+            if self._crashed is not None:
+                exc, proc = self._crashed
+                self._crashed = None
+                raise SimError(
+                    f"process {proc.name!r} died with an unhandled error"
+                ) from exc
+            if targets is not None and all(not p.alive for p in targets):
+                return
+            if (
+                targets is None
+                and self._alive_nondaemon == 0
+                and self._raw_pending == 0
+            ):
+                return
+            when, _, fn = heapq.heappop(heap)
+            if until is not None and when > until:
+                # Put it back; we stop exactly at the horizon.
+                heapq.heappush(heap, (when, _, fn))
+                self.now = until
+                return
+            self.now = when
+            if (
+                self.watchdog_ns > 0
+                and self._alive_nondaemon > 0
+                and self.now - self._last_progress > self.watchdog_ns
+            ):
+                raise SimStallError(self._stall_report())
+            fn()
+            self.event_count += 1
+            if max_events is not None and self.event_count >= max_events:
+                return
+        if self._crashed is not None:
+            exc, proc = self._crashed
+            self._crashed = None
+            raise SimError(
+                f"process {proc.name!r} died with an unhandled error"
+            ) from exc
+        if targets is not None and any(p.alive for p in targets):
+            raise SimDeadlockError(self._stall_report())
+        if self._alive_nondaemon > 0:
+            raise SimDeadlockError(self._stall_report())
+
+    def _stall_report(self) -> str:
+        stuck = [
+            f"  {p.name}: waiting on {p.waiting_description()}"
+            for p in sorted(self._alive, key=lambda p: p.name)
+            if p.alive and not p.daemon
+        ]
+        header = (
+            f"simulation made no non-daemon progress "
+            f"(t={self.now:.0f} ns, last progress at "
+            f"{self._last_progress:.0f} ns); blocked processes:"
+        )
+        return "\n".join([header] + (stuck or ["  (none alive)"]))

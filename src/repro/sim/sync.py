@@ -1,0 +1,137 @@
+"""Synchronization primitives layered on the engine: mutex, gate, barrier."""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Hashable, Optional
+
+from repro.sim.engine import Event, SimError, Simulator
+
+
+class SimLock:
+    """FIFO mutex with owner tracking.
+
+    Unlike :class:`~repro.sim.resources.Semaphore`, a lock remembers *who*
+    holds it, which the AGILE lock-chain deadlock detector (paper §3.5)
+    needs in order to build the waits-for graph.
+    """
+
+    __slots__ = ("sim", "name", "owner", "_waiters")
+
+    def __init__(self, sim: Simulator, name: str = "lock"):
+        self.sim = sim
+        self.name = name
+        self.owner: Optional[Hashable] = None
+        self._waiters: list[tuple[Hashable, Event]] = []
+
+    @property
+    def locked(self) -> bool:
+        return self.owner is not None
+
+    def try_acquire(self, who: Hashable) -> bool:
+        if self.owner is None and not self._waiters:
+            self.owner = who
+            return True
+        return False
+
+    def acquire(self, who: Hashable) -> Generator[Any, Any, None]:
+        if self.try_acquire(who):
+            return
+        if self.owner == who:
+            raise SimError(f"{who!r} re-acquired non-reentrant lock {self.name!r}")
+        ev = self.sim.event(name=f"{self.name}.acquire")
+        self._waiters.append((who, ev))
+        yield ev
+
+    def release(self, who: Hashable) -> None:
+        if self.owner != who:
+            raise SimError(
+                f"{who!r} released lock {self.name!r} owned by {self.owner!r}"
+            )
+        if self._waiters:
+            next_who, ev = self._waiters.pop(0)
+            self.owner = next_who
+            ev.trigger()
+        else:
+            self.owner = None
+
+    def waiters(self) -> list[Hashable]:
+        """Identities currently queued on this lock (for deadlock reports)."""
+        return [who for who, _ in self._waiters]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"SimLock({self.name!r}, owner={self.owner!r})"
+
+
+class Gate:
+    """Level-triggered event: processes wait until the gate is open.
+
+    Re-usable, unlike :class:`~repro.sim.engine.Event`: the gate can be
+    closed again, and waiters arriving while it is open pass through without
+    blocking.  Used for cache-line READY notifications and transaction
+    barriers that are polled repeatedly.
+    """
+
+    __slots__ = ("sim", "name", "_open", "_waiters")
+
+    def __init__(self, sim: Simulator, is_open: bool = False, name: str = "gate"):
+        self.sim = sim
+        self.name = name
+        self._open = is_open
+        self._waiters: list[Event] = []
+
+    @property
+    def is_open(self) -> bool:
+        return self._open
+
+    def open(self) -> None:
+        """Open the gate and release every waiter."""
+        self._open = True
+        waiters, self._waiters = self._waiters, []
+        for ev in waiters:
+            ev.trigger()
+
+    def close(self) -> None:
+        self._open = False
+
+    def wait(self) -> Generator[Any, Any, None]:
+        if self._open:
+            return
+        ev = self.sim.event(name=f"{self.name}.wait")
+        self._waiters.append(ev)
+        yield ev
+
+
+class Barrier:
+    """Classic n-party barrier: the n-th arrival releases everyone.
+
+    Reusable across generations, mirroring ``__syncwarp``/``__syncthreads``
+    semantics for the simulated warp lockstep points.
+    """
+
+    __slots__ = ("sim", "name", "parties", "_count", "_generation", "_event")
+
+    def __init__(self, sim: Simulator, parties: int, name: str = "barrier"):
+        if parties < 1:
+            raise ValueError("barrier needs at least one party")
+        self.sim = sim
+        self.name = name
+        self.parties = parties
+        self._count = 0
+        self._generation = 0
+        self._event = sim.event(name=f"{name}.gen0")
+
+    def wait(self) -> Generator[Any, Any, int]:
+        """Block until all parties arrive; returns the generation index."""
+        gen = self._generation
+        self._count += 1
+        if self._count == self.parties:
+            self._count = 0
+            self._generation += 1
+            ev, self._event = self._event, self.sim.event(
+                name=f"{self.name}.gen{self._generation}"
+            )
+            ev.trigger(gen)
+            return gen
+        ev = self._event
+        yield ev
+        return gen

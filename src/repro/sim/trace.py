@@ -1,0 +1,96 @@
+"""Lightweight instrumentation: counters and time-weighted statistics.
+
+The benchmark harness reads these to decompose execution time the same way
+the paper's Figure 11 does (kernel time vs. cache-API time vs. I/O-API
+time).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict
+
+from repro.sim.engine import Simulator
+
+
+class Counter:
+    """A bag of named monotonically increasing counters."""
+
+    def __init__(self) -> None:
+        self._values: Dict[str, float] = defaultdict(float)
+
+    def add(self, name: str, amount: float = 1.0) -> None:
+        self._values[name] += amount
+
+    def get(self, name: str, default: float = 0.0) -> float:
+        return self._values.get(name, default)
+
+    def snapshot(self) -> Dict[str, float]:
+        return dict(self._values)
+
+    def reset(self) -> None:
+        self._values.clear()
+
+    def __getitem__(self, name: str) -> float:
+        return self.get(name)
+
+
+class TimeWeightedStat:
+    """Integrates a piecewise-constant value over simulated time.
+
+    ``mean()`` gives the time-average — used for average queue occupancy and
+    cache residency statistics.
+    """
+
+    def __init__(self, sim: Simulator, initial: float = 0.0):
+        self.sim = sim
+        self._value = initial
+        self._last_t = sim.now
+        self._area = 0.0
+        self._max = initial
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def set(self, value: float) -> None:
+        now = self.sim.now
+        self._area += self._value * (now - self._last_t)
+        self._last_t = now
+        self._value = value
+        if value > self._max:
+            self._max = value
+
+    def add(self, delta: float) -> None:
+        self.set(self._value + delta)
+
+    def mean(self) -> float:
+        now = self.sim.now
+        total = self._area + self._value * (now - self._last_t)
+        if now <= 0:
+            return self._value
+        return total / now
+
+    def maximum(self) -> float:
+        return self._max
+
+
+class TraceRecorder:
+    """Central registry of counters grouped by component name."""
+
+    def __init__(self) -> None:
+        self._groups: Dict[str, Counter] = {}
+
+    def group(self, name: str) -> Counter:
+        counter = self._groups.get(name)
+        if counter is None:
+            counter = Counter()
+            self._groups[name] = counter
+        return counter
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        return {name: c.snapshot() for name, c in self._groups.items()}
+
+    def reset(self) -> None:
+        for counter in self._groups.values():
+            counter.reset()

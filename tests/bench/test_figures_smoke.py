@@ -1,0 +1,29 @@
+"""Cheap smoke tests for the figure drivers (tiny parameterizations) —
+the full-size regenerations live in ``benchmarks/``."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.figures import fig4, fig7
+from repro.workloads.criteo import make_criteo_trace
+
+
+def test_fig4_tiny():
+    result = fig4(ctc_ratios=(0.0, 1.0), num_threads=32, requests=2)
+    assert result.figure == "Fig4"
+    assert len(result.rows) == 2
+    speedups = {row[0]: row[3] for row in result.rows}
+    assert speedups[1.0] > speedups[0.0]
+
+
+def test_fig7_tiny():
+    trace = make_criteo_trace(
+        512, vocab_sizes=(500, 300, 200, 100), zipf_a=1.2, seed=2
+    )
+    result = fig7(
+        trace=trace, batch=16, epochs=2, features=4, cache_lines=256,
+        num_threads=32, queue_pairs=2, queue_depth=16,
+    )
+    for config in ("config1", "config2", "config3"):
+        assert result.metrics[f"{config}_async"] > 0.8

@@ -1,0 +1,56 @@
+"""Tests for the benchmark reporting utilities and cheap figure drivers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import FigureResult, format_table
+from repro.bench.figures import fig12
+
+
+class TestFormatTable:
+    def test_alignment_and_precision(self):
+        table = format_table(
+            ["name", "value"], [["a", 1.23456], ["bb", 12345.6]]
+        )
+        lines = table.splitlines()
+        assert lines[0].startswith("name")
+        assert "1.235" in table
+        assert "12,346" in table
+
+    def test_empty_rows(self):
+        table = format_table(["x"], [])
+        assert "x" in table
+
+    def test_integer_cells_untouched(self):
+        table = format_table(["n"], [[42]])
+        assert "42" in table
+
+
+class TestFigureResult:
+    def test_table_includes_reference_and_metrics(self):
+        result = FigureResult(
+            figure="FigX",
+            title="demo",
+            headers=["a"],
+            rows=[[1.0]],
+            paper_reference="some claim",
+            metrics={"m": 2.0},
+        )
+        text = result.table()
+        assert "FigX" in text
+        assert "some claim" in text
+        assert "m=2.000" in text
+
+    def test_show_returns_self(self, capsys):
+        result = FigureResult("F", "t", ["h"], [[1]])
+        assert result.show() is result
+        assert "F" in capsys.readouterr().out
+
+
+class TestFig12Driver:
+    def test_metrics_and_rows(self):
+        result = fig12()
+        assert result.metrics["service_registers"] == 37
+        kernels = {row[0] for row in result.rows}
+        assert {"vector_mean", "bfs", "spmv", "agile_service"} <= kernels

@@ -1,0 +1,149 @@
+"""Tests for cache replacement policies."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    ClockPolicy,
+    FifoPolicy,
+    LruPolicy,
+    RandomPolicy,
+    make_policy,
+)
+
+
+def _attach(policy, num_sets=4, ways=4):
+    policy.attach(num_sets, ways)
+    return policy
+
+
+class TestClock:
+    def test_unreferenced_way_is_victim(self):
+        p = _attach(ClockPolicy())
+        p.on_fill(0, 0)
+        p.on_fill(0, 1)
+        # ways 2,3 never referenced -> victim among them, in hand order.
+        assert p.select_victim(0, [0, 1, 2, 3]) == 2
+
+    def test_second_chance(self):
+        p = _attach(ClockPolicy(), num_sets=1, ways=2)
+        p.on_fill(0, 0)
+        p.on_fill(0, 1)
+        # Both referenced: first sweep clears bits, second evicts way 0.
+        assert p.select_victim(0, [0, 1]) == 0
+        # Way 1's bit was cleared by the sweep; it goes next.
+        assert p.select_victim(0, [0, 1]) == 1
+
+    def test_recent_hit_survives(self):
+        p = _attach(ClockPolicy(), num_sets=1, ways=4)
+        for w in range(4):
+            p.on_fill(0, w)
+        victim1 = p.select_victim(0, [0, 1, 2, 3])
+        p.on_hit(0, 3)
+        victim2 = p.select_victim(0, [w for w in range(4) if w != victim1])
+        assert victim2 != 3
+
+    def test_restricted_candidates(self):
+        p = _attach(ClockPolicy(), num_sets=1, ways=4)
+        assert p.select_victim(0, [2]) == 2
+
+
+class TestLru:
+    def test_least_recent_evicted(self):
+        p = _attach(LruPolicy(), num_sets=1, ways=3)
+        p.on_fill(0, 0)
+        p.on_fill(0, 1)
+        p.on_fill(0, 2)
+        p.on_hit(0, 0)  # order now 1, 2, 0
+        assert p.select_victim(0, [0, 1, 2]) == 1
+
+    def test_candidates_respected(self):
+        p = _attach(LruPolicy(), num_sets=1, ways=3)
+        p.on_fill(0, 0)
+        p.on_fill(0, 1)
+        p.on_fill(0, 2)
+        assert p.select_victim(0, [2]) == 2
+
+    def test_empty_candidates_none(self):
+        p = _attach(LruPolicy())
+        assert p.select_victim(0, []) is None
+
+
+class TestFifo:
+    def test_hits_do_not_reorder(self):
+        p = _attach(FifoPolicy(), num_sets=1, ways=3)
+        p.on_fill(0, 0)
+        p.on_fill(0, 1)
+        p.on_fill(0, 2)
+        p.on_hit(0, 0)
+        p.on_hit(0, 0)
+        assert p.select_victim(0, [0, 1, 2]) == 0
+
+    def test_refill_moves_to_back(self):
+        p = _attach(FifoPolicy(), num_sets=1, ways=3)
+        p.on_fill(0, 0)
+        p.on_fill(0, 1)
+        p.on_fill(0, 0)  # re-filled -> youngest again
+        assert p.select_victim(0, [0, 1]) == 1
+
+
+class TestRandom:
+    def test_victim_from_candidates(self):
+        p = _attach(RandomPolicy(seed=1))
+        for _ in range(50):
+            assert p.select_victim(0, [1, 3]) in (1, 3)
+
+    def test_deterministic_for_seed(self):
+        a = _attach(RandomPolicy(seed=7))
+        b = _attach(RandomPolicy(seed=7))
+        seq_a = [a.select_victim(0, list(range(4))) for _ in range(20)]
+        seq_b = [b.select_victim(0, list(range(4))) for _ in range(20)]
+        assert seq_a == seq_b
+
+    def test_empty_candidates_none(self):
+        p = _attach(RandomPolicy())
+        assert p.select_victim(0, []) is None
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name,cls", [
+        ("clock", ClockPolicy),
+        ("LRU", LruPolicy),
+        ("fifo", FifoPolicy),
+        ("random", RandomPolicy),
+    ])
+    def test_make_policy(self, name, cls):
+        assert isinstance(make_policy(name), cls)
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError, match="unknown cache policy"):
+            make_policy("belady")
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    policy_name=st.sampled_from(["clock", "lru", "fifo", "random"]),
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["hit", "fill", "evict"]),
+            st.integers(min_value=0, max_value=3),
+        ),
+        max_size=60,
+    ),
+)
+def test_policy_invariants(policy_name, ops):
+    """Property: a victim, when requested with non-empty candidates, is
+    always drawn from the candidate list, for any operation history."""
+    policy = make_policy(policy_name)
+    policy.attach(2, 4)
+    for op, way in ops:
+        if op == "hit":
+            policy.on_hit(0, way)
+        elif op == "fill":
+            policy.on_fill(0, way)
+        else:
+            candidates = [w for w in range(4) if w != way]
+            victim = policy.select_victim(0, candidates)
+            assert victim in candidates

@@ -1,0 +1,95 @@
+"""Tests for kernel specs, launch configs, and the occupancy calculator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import GpuConfig
+from repro.gpu import KernelSpec, LaunchConfig, occupancy
+
+
+def _noop(tc):
+    return
+    yield  # pragma: no cover
+
+
+class TestLaunchConfig:
+    def test_total_threads(self):
+        cfg = LaunchConfig(grid_dim=4, block_dim=128)
+        assert cfg.total_threads == 512
+
+    def test_positive_dims_required(self):
+        with pytest.raises(ValueError):
+            LaunchConfig(grid_dim=0, block_dim=32)
+        with pytest.raises(ValueError):
+            LaunchConfig(grid_dim=1, block_dim=0)
+
+
+class TestKernelSpec:
+    def test_register_floor(self):
+        with pytest.raises(ValueError):
+            KernelSpec(name="k", body=_noop, registers_per_thread=0)
+
+
+class TestOccupancy:
+    def test_register_limited(self):
+        gpu = GpuConfig(registers_per_sm=65536, max_blocks_per_sm=32,
+                        max_warps_per_sm=64)
+        kernel = KernelSpec(name="fat", body=_noop, registers_per_thread=128)
+        occ = occupancy(gpu, kernel, block_dim=256)
+        # 65536 / (128 * 256) = 2 blocks.
+        assert occ.blocks_per_sm == 2
+        assert occ.limiting_factor == "registers"
+
+    def test_warp_limited(self):
+        gpu = GpuConfig(max_warps_per_sm=48, max_blocks_per_sm=32)
+        kernel = KernelSpec(name="thin", body=_noop, registers_per_thread=16)
+        occ = occupancy(gpu, kernel, block_dim=512)  # 16 warps per block
+        assert occ.blocks_per_sm == 3
+        assert occ.limiting_factor == "warps"
+
+    def test_block_limited(self):
+        gpu = GpuConfig(max_blocks_per_sm=4)
+        kernel = KernelSpec(name="tiny", body=_noop, registers_per_thread=16)
+        occ = occupancy(gpu, kernel, block_dim=32)
+        assert occ.blocks_per_sm == 4
+        assert occ.limiting_factor == "blocks"
+
+    def test_shared_mem_limited(self):
+        gpu = GpuConfig(shared_mem_per_sm=96 * 1024, max_blocks_per_sm=32)
+        kernel = KernelSpec(
+            name="smem", body=_noop, registers_per_thread=16,
+            shared_mem_per_block=48 * 1024,
+        )
+        occ = occupancy(gpu, kernel, block_dim=32)
+        assert occ.blocks_per_sm == 2
+        assert occ.limiting_factor == "shared_mem"
+
+    def test_register_usage_reduces_occupancy(self):
+        """Fig. 12's point: more registers per thread -> fewer resident
+        warps -> less latency-hiding headroom."""
+        gpu = GpuConfig()
+        lean = KernelSpec(name="agile", body=_noop, registers_per_thread=48)
+        fat = KernelSpec(name="bam", body=_noop, registers_per_thread=64)
+        assert (
+            occupancy(gpu, fat, 256).blocks_per_sm
+            <= occupancy(gpu, lean, 256).blocks_per_sm
+        )
+
+    def test_too_many_registers_rejected(self):
+        gpu = GpuConfig()
+        kernel = KernelSpec(name="huge", body=_noop, registers_per_thread=300)
+        with pytest.raises(ValueError):
+            occupancy(gpu, kernel, 32)
+
+    def test_unlaunchable_block_rejected(self):
+        gpu = GpuConfig(registers_per_sm=1024)
+        kernel = KernelSpec(name="k", body=_noop, registers_per_thread=64)
+        with pytest.raises(ValueError, match="registers"):
+            occupancy(gpu, kernel, block_dim=1024)
+
+    def test_partial_warp_rounds_up(self):
+        gpu = GpuConfig(max_warps_per_sm=48)
+        kernel = KernelSpec(name="k", body=_noop, registers_per_thread=16)
+        occ = occupancy(gpu, kernel, block_dim=33)  # 2 warps, not 1.03
+        assert occ.warps_per_block == 2

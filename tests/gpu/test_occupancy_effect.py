@@ -1,0 +1,65 @@
+"""Integration: register pressure limits occupancy, which costs runtime —
+the end-to-end consequence behind the paper's Fig. 12 argument."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import GpuConfig
+from repro.gpu import Gpu, KernelSpec, LaunchConfig, occupancy
+from repro.sim import Simulator, Timeout
+
+
+def _latency_bound_kernel(tc):
+    """Alternating long-latency waits and compute — the pattern that needs
+    many resident warps to stay hidden."""
+    for _ in range(4):
+        yield Timeout(5_000)
+        yield from tc.compute(200)
+
+
+def _run(registers: int) -> float:
+    gpu_cfg = GpuConfig(num_sms=2, registers_per_sm=16_384,
+                        max_blocks_per_sm=32, max_warps_per_sm=48)
+    sim = Simulator()
+    gpu = Gpu(sim, gpu_cfg, hbm_capacity=1 << 16)
+    kernel = KernelSpec(
+        name=f"r{registers}", body=_latency_bound_kernel,
+        registers_per_thread=registers,
+    )
+    return gpu.run_to_completion(kernel, LaunchConfig(16, 64))
+
+
+def test_fat_kernel_has_lower_occupancy():
+    gpu_cfg = GpuConfig(registers_per_sm=16_384)
+    lean = KernelSpec(name="lean", body=_latency_bound_kernel,
+                      registers_per_thread=32)
+    fat = KernelSpec(name="fat", body=_latency_bound_kernel,
+                     registers_per_thread=128)
+    assert (
+        occupancy(gpu_cfg, fat, 64).blocks_per_sm
+        < occupancy(gpu_cfg, lean, 64).blocks_per_sm
+    )
+
+
+def test_register_pressure_slows_latency_bound_grid():
+    """With a small register file, a 128-reg kernel fits 2 blocks/SM while
+    a 32-reg kernel fits 8: the fat kernel needs more waves to drain the
+    same grid, so the latency-bound runtime grows."""
+    t_lean = _run(32)
+    t_fat = _run(128)
+    assert t_fat > 1.5 * t_lean
+
+
+def test_agile_vs_bam_register_budgets_affect_waves():
+    """Using the Fig. 12 numbers (SpMV: AGILE 42 vs BaM 56 regs) on a
+    register-starved SM: the BaM variant never fits more blocks."""
+    gpu_cfg = GpuConfig(registers_per_sm=16_384)
+    agile = KernelSpec(name="spmv_agile", body=_latency_bound_kernel,
+                       registers_per_thread=42)
+    bam = KernelSpec(name="spmv_bam", body=_latency_bound_kernel,
+                     registers_per_thread=56)
+    assert (
+        occupancy(gpu_cfg, bam, 128).blocks_per_sm
+        <= occupancy(gpu_cfg, agile, 128).blocks_per_sm
+    )

@@ -1,0 +1,79 @@
+"""Tests for the PCIe link and doorbell models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import PcieConfig
+from repro.mem import Doorbell, PcieLink
+from repro.sim import Simulator, Timeout
+
+
+def test_link_bandwidth_scales_with_lanes():
+    x4 = PcieConfig(lanes=4)
+    x16 = PcieConfig(lanes=16)
+    assert x16.bytes_per_ns == pytest.approx(4 * x4.bytes_per_ns)
+
+
+def test_dma_write_time(sim):
+    cfg = PcieConfig(lanes=4, per_lane_gbps=1.0, efficiency=1.0, latency_ns=100)
+    link = PcieLink(sim, cfg)
+    done = []
+
+    def proc():
+        yield from link.dma_write(4000)
+        done.append(sim.now)
+
+    sim.spawn(proc())
+    sim.run()
+    # 4000 B / 4 B/ns = 1000 ns + 100 ns latency.
+    assert done == [pytest.approx(1100.0)]
+
+
+def test_dma_read_includes_request_latency(sim):
+    cfg = PcieConfig(lanes=4, per_lane_gbps=1.0, efficiency=1.0, latency_ns=100)
+    link = PcieLink(sim, cfg)
+    done = []
+
+    def proc():
+        yield from link.dma_read(4000)
+        done.append(sim.now)
+
+    sim.spawn(proc())
+    sim.run()
+    # request latency 100 + 1000 wire + 100 return latency.
+    assert done == [pytest.approx(1200.0)]
+
+
+def test_doorbell_writer_pays_posted_cost_only(sim):
+    cfg = PcieConfig(mmio_write_ns=800, latency_ns=450)
+    seen = []
+    db = Doorbell(sim, cfg, observer=lambda v: seen.append((sim.now, v)))
+    writer_done = []
+
+    def proc():
+        yield from db.ring(5)
+        writer_done.append(sim.now)
+
+    sim.spawn(proc())
+    sim.run()
+    assert writer_done == [pytest.approx(800.0)]
+    # Device sees the value one link latency after the posted write retires.
+    assert seen == [(pytest.approx(1250.0), 5)]
+    assert db.device_value == 5
+    assert db.rings == 1
+
+
+def test_doorbell_values_arrive_in_order(sim):
+    cfg = PcieConfig(mmio_write_ns=10, latency_ns=100)
+    seen = []
+    db = Doorbell(sim, cfg, observer=lambda v: seen.append(v))
+
+    def proc():
+        for v in (1, 2, 3):
+            yield from db.ring(v)
+
+    sim.spawn(proc())
+    sim.run()
+    assert seen == [1, 2, 3]
+    assert db.written_value == 3

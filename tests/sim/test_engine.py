@@ -1,0 +1,305 @@
+"""Unit tests for the discrete-event engine: processes, events, timeouts,
+ordering, deadlock and stall detection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import (
+    Event,
+    SimDeadlockError,
+    SimError,
+    SimStallError,
+    Simulator,
+    Timeout,
+)
+
+
+def test_timeout_advances_clock(sim):
+    log = []
+
+    def proc():
+        yield Timeout(10)
+        log.append(sim.now)
+        yield Timeout(5.5)
+        log.append(sim.now)
+
+    sim.spawn(proc())
+    sim.run()
+    assert log == [10, 15.5]
+    assert sim.now == 15.5
+
+
+def test_zero_timeout_and_bare_yield_do_not_advance_time(sim):
+    def proc():
+        yield Timeout(0)
+        yield None
+
+    sim.spawn(proc())
+    sim.run()
+    assert sim.now == 0.0
+
+
+def test_negative_timeout_rejected(sim):
+    with pytest.raises(ValueError):
+        Timeout(-1)
+
+
+def test_event_passes_value(sim):
+    results = []
+
+    def waiter(ev):
+        value = yield ev
+        results.append(value)
+
+    def trigger(ev):
+        yield Timeout(3)
+        ev.trigger("payload")
+
+    ev = sim.event("e")
+    sim.spawn(waiter(ev))
+    sim.spawn(trigger(ev))
+    sim.run()
+    assert results == ["payload"]
+    assert ev.triggered and ev.ok
+    assert ev.value == "payload"
+
+
+def test_already_triggered_event_resumes_immediately(sim):
+    results = []
+
+    def proc(ev):
+        value = yield ev
+        results.append((sim.now, value))
+
+    ev = sim.event()
+    ev.trigger(42)
+    sim.spawn(proc(ev))
+    sim.run()
+    assert results == [(0.0, 42)]
+
+
+def test_event_double_trigger_is_error(sim):
+    ev = sim.event("dup")
+    ev.trigger(1)
+    with pytest.raises(SimError):
+        ev.trigger(2)
+
+
+def test_event_value_before_trigger_raises(sim):
+    ev = sim.event("early")
+    with pytest.raises(SimError):
+        _ = ev.value
+
+
+def test_event_fail_throws_into_waiter(sim):
+    caught = []
+
+    def proc(ev):
+        try:
+            yield ev
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    ev = sim.event()
+    sim.spawn(proc(ev))
+
+    def failer():
+        yield Timeout(1)
+        ev.fail(ValueError("boom"))
+
+    sim.spawn(failer())
+    sim.run()
+    assert caught == ["boom"]
+
+
+def test_process_join_returns_value(sim):
+    def child():
+        yield Timeout(7)
+        return "done"
+
+    def parent():
+        value = yield sim.spawn(child(), name="child")
+        return value
+
+    p = sim.spawn(parent(), name="parent")
+    sim.run()
+    assert p.value == "done"
+    assert sim.now == 7
+
+
+def test_join_already_finished_process(sim):
+    def child():
+        return 5
+        yield  # pragma: no cover
+
+    def parent(c):
+        yield Timeout(10)
+        value = yield c
+        return value
+
+    c = sim.spawn(child())
+    p = sim.spawn(parent(c))
+    sim.run()
+    assert p.value == 5
+
+
+def test_unhandled_process_exception_surfaces_from_run(sim):
+    def bad():
+        yield Timeout(1)
+        raise RuntimeError("kernel panic")
+
+    sim.spawn(bad(), name="bad")
+    with pytest.raises(SimError, match="bad"):
+        sim.run()
+
+
+def test_fifo_ordering_at_same_timestamp(sim):
+    order = []
+
+    def proc(tag):
+        yield Timeout(5)
+        order.append(tag)
+
+    for tag in "abc":
+        sim.spawn(proc(tag))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_run_until_time_horizon(sim):
+    def proc():
+        yield Timeout(100)
+
+    sim.spawn(proc())
+    sim.run(until=40)
+    assert sim.now == 40
+
+
+def test_run_until_procs_leaves_others_running(sim):
+    def short():
+        yield Timeout(5)
+
+    def long():
+        yield Timeout(500)
+
+    s = sim.spawn(short())
+    long_proc = sim.spawn(long())
+    sim.run(until_procs=[s])
+    assert not s.alive
+    assert long_proc.alive
+    assert sim.now == 5
+
+
+def test_deadlock_detected_when_events_never_fire(sim):
+    def proc():
+        ev = sim.event("never")
+        yield ev
+
+    sim.spawn(proc(), name="stuck")
+    with pytest.raises(SimDeadlockError, match="stuck"):
+        sim.run()
+
+
+def test_daemon_does_not_block_completion(sim):
+    def daemon():
+        while True:
+            yield Timeout(10)
+
+    def worker():
+        yield Timeout(25)
+
+    sim.spawn(daemon(), name="d", daemon=True)
+    sim.spawn(worker(), name="w")
+    sim.run()
+    assert sim.now == 25
+
+
+def test_watchdog_detects_stall_with_live_daemon():
+    sim = Simulator(watchdog_ns=100)
+
+    def daemon():
+        while True:
+            yield Timeout(10)
+
+    def stuck():
+        yield sim.event("never")
+
+    sim.spawn(daemon(), name="d", daemon=True)
+    sim.spawn(stuck(), name="stuck")
+    with pytest.raises(SimStallError, match="stuck"):
+        sim.run()
+
+
+def test_kill_stops_daemon_and_triggers_done(sim):
+    ticks = []
+
+    def daemon():
+        while True:
+            yield Timeout(10)
+            ticks.append(sim.now)
+
+    def worker(d):
+        yield Timeout(35)
+        d.kill()
+
+    d = sim.spawn(daemon(), name="d", daemon=True)
+    sim.spawn(worker(d))
+    sim.run()
+    assert ticks == [10, 20, 30]
+    assert not d.alive
+    assert d.done_event.triggered
+
+
+def test_yield_unsupported_object_is_error(sim):
+    def proc():
+        yield 42
+
+    sim.spawn(proc(), name="odd")
+    with pytest.raises(SimError):
+        sim.run()
+
+
+def test_call_at_past_rejected(sim):
+    def proc():
+        yield Timeout(10)
+        with pytest.raises(ValueError):
+            sim.call_at(5, lambda: None)
+
+    sim.spawn(proc())
+    sim.run()
+
+
+def test_determinism_two_runs_identical():
+    def build():
+        sim = Simulator()
+        log = []
+
+        def worker(i):
+            for k in range(3):
+                yield Timeout((i * 7 + k * 3) % 11 + 1)
+                log.append((sim.now, i, k))
+
+        for i in range(5):
+            sim.spawn(worker(i), name=f"w{i}")
+        sim.run()
+        return log
+
+    assert build() == build()
+
+
+def test_nested_generators_via_yield_from(sim):
+    log = []
+
+    def inner():
+        yield Timeout(4)
+        log.append("inner")
+        return 99
+
+    def outer():
+        value = yield from inner()
+        log.append(("outer", value))
+
+    sim.spawn(outer())
+    sim.run()
+    assert log == ["inner", ("outer", 99)]

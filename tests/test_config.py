@@ -1,0 +1,93 @@
+"""Tests for configuration dataclasses, validation, and calibration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import (
+    CacheConfig,
+    GpuConfig,
+    PcieConfig,
+    SsdConfig,
+    SystemConfig,
+    default_config,
+    describe,
+    gbps_to_bytes_per_ns,
+)
+
+
+class TestCalibration:
+    def test_flash_read_ceiling_matches_paper(self):
+        """45 channels x 4 KiB / 49.8 us ~= 3.70 GB/s (paper Fig. 5)."""
+        ssd = SsdConfig()
+        assert ssd.peak_read_bw == pytest.approx(3.70, abs=0.05)
+
+    def test_flash_write_ceiling_matches_paper(self):
+        ssd = SsdConfig()
+        assert ssd.peak_write_bw == pytest.approx(2.20, abs=0.05)
+
+    def test_pcie_x4_not_binding_for_flash(self):
+        """The SSD link must exceed the flash ceiling, as on the testbed."""
+        ssd = SsdConfig()
+        assert ssd.pcie.bytes_per_ns > ssd.peak_read_bw
+
+    def test_gpu_pcie_x16_covers_three_ssds(self):
+        gpu = GpuConfig()
+        three_ssds = 3 * SsdConfig().peak_read_bw
+        assert gpu.pcie.bytes_per_ns > three_ssds
+
+    def test_bandwidth_conversion(self):
+        assert gbps_to_bytes_per_ns(1.0) == pytest.approx(1.0)
+
+    def test_gpu_cycle_helpers(self):
+        gpu = GpuConfig(clock_ghz=2.0)
+        assert gpu.cycle_ns == 0.5
+        assert gpu.cycles(10) == 5.0
+
+
+class TestValidation:
+    def test_default_config_valid(self):
+        default_config().validate()
+
+    def test_queue_pairs_over_device_limit(self):
+        cfg = SystemConfig(queue_pairs=200)
+        with pytest.raises(ValueError, match="queue pairs"):
+            cfg.validate()
+
+    def test_queue_depth_over_device_limit(self):
+        cfg = SystemConfig(queue_depth=4096)
+        with pytest.raises(ValueError, match="queue depth"):
+            cfg.validate()
+
+    def test_queue_depth_minimum(self):
+        cfg = SystemConfig(queue_depth=1)
+        with pytest.raises(ValueError, match="at least 2"):
+            cfg.validate()
+
+    def test_line_size_must_match_page_size(self):
+        cfg = SystemConfig(cache=CacheConfig(line_size=8192))
+        with pytest.raises(ValueError, match="line size"):
+            cfg.validate()
+
+    def test_no_ssds_rejected(self):
+        cfg = SystemConfig(ssds=())
+        with pytest.raises(ValueError, match="at least one SSD"):
+            cfg.validate()
+
+
+class TestHelpers:
+    def test_with_ssds_clones_base(self):
+        cfg = SystemConfig().with_ssds(3)
+        assert [s.name for s in cfg.ssds] == ["ssd0", "ssd1", "ssd2"]
+        assert all(s.channels == cfg.ssds[0].channels for s in cfg.ssds)
+
+    def test_cache_geometry(self):
+        cache = CacheConfig(num_lines=128, ways=8)
+        assert cache.num_sets == 16
+        assert cache.capacity_bytes == 128 * 4096
+
+    def test_describe_mentions_components(self):
+        info = describe(SystemConfig())
+        assert "SMs" in info["gpu"]
+        assert "GB/s rd" in info["ssds"]
+        assert "QPs" in info["queues"]

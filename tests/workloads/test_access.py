@@ -1,0 +1,108 @@
+"""Tests for striped-region addressing and the generic readers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import AgileLockChain
+from repro.workloads.access import (
+    StripedRegion,
+    read_element,
+    read_range,
+    region,
+    region_page_coords,
+)
+
+from tests.helpers import make_host, run_kernel
+
+
+class TestStripedRegion:
+    def test_locate_within_page(self):
+        reg = region(10, num_ssds=1, dtype=np.int64)
+        ssd, lba, off = reg.locate(3)
+        assert (ssd, lba, off) == (0, 10, 24)
+
+    def test_locate_crosses_pages(self):
+        reg = region(10, num_ssds=1, dtype=np.int64)  # 512 items/page
+        ssd, lba, off = reg.locate(512)
+        assert (ssd, lba, off) == (0, 11, 0)
+
+    def test_striping_alternates_ssds(self):
+        reg = region(0, num_ssds=2, dtype=np.int64)
+        assert reg.locate(0)[0] == 0
+        assert reg.locate(512)[0] == 1
+        assert reg.locate(1024)[0] == 0
+        # LBAs advance once per stripe pass.
+        assert reg.locate(1024)[1] == 1
+
+    def test_page_coords_cover_region(self):
+        reg = region(5, num_ssds=2, dtype=np.float32)
+        coords = region_page_coords(reg, 3000)  # 12000 B -> 3 pages
+        assert coords == [(0, 5), (1, 5), (0, 6)]
+
+    def test_unknown_system_rejected(self):
+        host = make_host()
+        reg = region(0, 1, np.int64)
+
+        def body(tc, ctrl):
+            chain = AgileLockChain("c")
+            with pytest.raises(ValueError, match="unknown system"):
+                yield from read_element("cuda", ctrl, tc, chain, reg, 0)
+
+        run_kernel(host, body, block=1)
+
+
+class TestReaders:
+    def test_read_element_values(self):
+        host = make_host()
+        data = np.arange(2048, dtype=np.int64)
+        host.load_data(0, 0, data)
+        got = {}
+
+        def body(tc, ctrl, got):
+            chain = AgileLockChain(f"c{tc.tid}")
+            reg = region(0, 1, np.int64)
+            got[tc.tid] = int(
+                (yield from read_element("agile", ctrl, tc, chain, reg,
+                                         tc.tid * 100))
+            )
+
+        run_kernel(host, body, block=8, args=(got,))
+        assert got == {t: t * 100 for t in range(8)}
+
+    def test_read_range_spans_pages(self):
+        host = make_host()
+        data = np.arange(4096, dtype=np.int64)
+        host.load_data(0, 0, data)
+        out = {}
+
+        def body(tc, ctrl, out):
+            chain = AgileLockChain("c")
+            reg = region(0, 1, np.int64)
+            out["v"] = yield from read_range("agile", ctrl, tc, chain, reg,
+                                             500, 100)
+
+        run_kernel(host, body, block=1, args=(out,))
+        assert np.array_equal(out["v"], np.arange(500, 600))
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    num_ssds=st.integers(min_value=1, max_value=4),
+    itemsize_pow=st.integers(min_value=0, max_value=3),
+    indices=st.lists(st.integers(min_value=0, max_value=100_000),
+                     min_size=2, max_size=20, unique=True),
+)
+def test_locate_is_injective(num_ssds, itemsize_pow, indices):
+    """Property: distinct elements never map to the same (ssd, lba, offset)."""
+    dtype = {0: np.uint8, 1: np.uint16, 2: np.uint32, 3: np.uint64}[itemsize_pow]
+    reg = StripedRegion(base_lba=7, num_ssds=num_ssds, dtype=np.dtype(dtype))
+    coords = [reg.locate(i) for i in indices]
+    assert len(set(coords)) == len(coords)
+    for ssd, lba, off in coords:
+        assert 0 <= ssd < num_ssds
+        assert lba >= 7
+        assert 0 <= off < reg.page_size
+        assert off % reg.itemsize == 0

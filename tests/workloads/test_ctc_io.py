@@ -1,0 +1,82 @@
+"""Tests for the CTC micro-benchmark and the bandwidth sweeps."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.ctc import ideal_speedup, run_ctc_experiment
+from repro.workloads.io_sweep import run_bandwidth_sweep
+
+
+class TestIdealSpeedup:
+    def test_equation_one(self):
+        """Eq. 1 from the paper."""
+        assert ideal_speedup(0.0) == 1.0
+        assert ideal_speedup(0.5) == 1.5
+        assert ideal_speedup(1.0) == 2.0
+        assert ideal_speedup(2.0) == 1.5
+        assert ideal_speedup(4.0) == 1.25
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ideal_speedup(-0.1)
+
+    def test_peak_at_balance(self):
+        values = [ideal_speedup(c / 10) for c in range(0, 31)]
+        assert max(values) == ideal_speedup(1.0)
+
+
+class TestCtcExperiment:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return run_ctc_experiment(
+            [0.0, 0.5, 1.0, 2.0], num_threads=64, requests=4
+        )
+
+    def test_async_never_slower(self, results):
+        for r in results:
+            assert r.speedup >= 0.95  # small jitter tolerance at CTC=0
+
+    def test_speedup_tracks_equation_shape(self, results):
+        by_ctc = {r.ctc: r.speedup for r in results}
+        assert by_ctc[0.5] > by_ctc[0.0]
+        assert by_ctc[1.0] > by_ctc[0.5]
+        assert by_ctc[2.0] < by_ctc[1.0]
+
+    def test_speedup_bounded_by_ideal(self, results):
+        # Slack: the async pipeline also keeps one extra request in flight,
+        # which helps slightly even at CTC=0 (not modelled by Eq. 1).
+        for r in results:
+            assert r.speedup <= ideal_speedup(r.ctc) + 0.15
+
+    def test_sync_time_grows_linearly_with_ctc(self, results):
+        by_ctc = {r.ctc: r.sync_ns for r in results}
+        # sync(2.0) ~= sync(0) * 3 (comm + 2x comm of compute).
+        assert by_ctc[2.0] / by_ctc[0.0] == pytest.approx(3.0, rel=0.1)
+
+
+class TestBandwidthSweep:
+    def test_invalid_op_rejected(self):
+        with pytest.raises(ValueError):
+            run_bandwidth_sweep("trim", 1, 64)
+
+    def test_read_faster_than_write(self):
+        read = run_bandwidth_sweep("read", 1, 512, num_threads=64)
+        write = run_bandwidth_sweep("write", 1, 512, num_threads=64)
+        assert read.bandwidth_gbps > write.bandwidth_gbps
+
+    def test_bandwidth_scales_with_ssds(self):
+        one = run_bandwidth_sweep("read", 1, 1024, num_threads=64)
+        two = run_bandwidth_sweep("read", 2, 1024, num_threads=64)
+        assert two.bandwidth_gbps > 1.5 * one.bandwidth_gbps
+
+    def test_bandwidth_grows_with_concurrency(self):
+        small = run_bandwidth_sweep("read", 1, 128, num_threads=32,
+                                    inflight_per_thread=2)
+        large = run_bandwidth_sweep("read", 1, 2048, num_threads=128,
+                                    inflight_per_thread=16)
+        assert large.bandwidth_gbps > small.bandwidth_gbps
+
+    def test_bandwidth_below_flash_peak(self):
+        point = run_bandwidth_sweep("read", 1, 1024, num_threads=128)
+        assert point.bandwidth_gbps <= 3.8  # calibrated flash ceiling

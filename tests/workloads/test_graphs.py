@@ -1,0 +1,126 @@
+"""Tests for graph generators, CSR structure, and SSD layout."""
+
+from __future__ import annotations
+
+import numpy as np
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads.graphs import (
+    CsrGraph,
+    kronecker_graph,
+    layout_graph,
+    uniform_random_graph,
+)
+
+
+class TestUniformRandom:
+    def test_shape_and_bounds(self):
+        g = uniform_random_graph(100, degree=4, seed=1)
+        assert g.num_vertices == 100
+        assert g.row_ptr.shape == (101,)
+        assert g.col_idx.min() >= 0
+        assert g.col_idx.max() < 100
+        assert g.row_ptr[-1] == g.num_edges
+
+    def test_no_self_loops_or_duplicates(self):
+        g = uniform_random_graph(50, degree=6, seed=2)
+        for v in range(50):
+            neigh = g.neighbors(v)
+            assert v not in neigh
+            assert len(set(neigh.tolist())) == len(neigh)
+
+    def test_row_ptr_monotonic(self):
+        g = uniform_random_graph(64, degree=8, seed=3)
+        assert (np.diff(g.row_ptr) >= 0).all()
+
+    def test_deterministic(self):
+        a = uniform_random_graph(64, degree=4, seed=9)
+        b = uniform_random_graph(64, degree=4, seed=9)
+        assert np.array_equal(a.col_idx, b.col_idx)
+
+    def test_min_vertices(self):
+        with pytest.raises(ValueError):
+            uniform_random_graph(1)
+
+    def test_roughly_uniform_degrees(self):
+        g = uniform_random_graph(256, degree=16, seed=4)
+        degrees = np.diff(g.row_ptr)
+        # Uniform graphs have no heavy hitters.
+        assert degrees.max() < 6 * degrees.mean()
+
+
+class TestKronecker:
+    def test_shape(self):
+        g = kronecker_graph(7, edge_factor=8, seed=1)
+        assert g.num_vertices == 128
+        assert g.num_edges > 0
+
+    def test_skewed_degree_distribution(self):
+        """The '-K' graphs have hubs: max degree far above the mean."""
+        g = kronecker_graph(9, edge_factor=16, seed=2)
+        degrees = np.diff(g.row_ptr)
+        assert degrees.max() > 6 * degrees.mean()
+
+    def test_more_skewed_than_uniform(self):
+        k = kronecker_graph(8, edge_factor=8, seed=3)
+        u = uniform_random_graph(256, degree=8, seed=3)
+        k_deg = np.diff(k.row_ptr).astype(float)
+        u_deg = np.diff(u.row_ptr).astype(float)
+        assert k_deg.std() / max(k_deg.mean(), 1e-9) > (
+            u_deg.std() / u_deg.mean()
+        )
+
+    def test_scale_validation(self):
+        with pytest.raises(ValueError):
+            kronecker_graph(0)
+
+    def test_values_generated_when_requested(self):
+        g = kronecker_graph(6, edge_factor=4, seed=4, with_values=True)
+        assert g.values is not None
+        assert g.values.shape[0] == g.num_edges
+        assert (g.values > 0).all()
+
+
+class TestScipyInterop:
+    def test_csr_matches_networkx_connectivity(self):
+        g = uniform_random_graph(40, degree=5, seed=7)
+        mat = g.to_scipy()
+        nxg = nx.from_scipy_sparse_array(mat, create_using=nx.DiGraph)
+        for v in range(40):
+            assert set(nxg.successors(v)) == set(g.neighbors(v).tolist())
+
+
+class TestLayout:
+    def test_regions_disjoint_and_ordered(self):
+        g = uniform_random_graph(512, degree=8, seed=1, with_values=True)
+        x = np.ones(512, dtype=np.float32)
+        layout = layout_graph(g, x=x)
+        assert layout.row_ptr_lba < layout.col_idx_lba
+        assert layout.col_idx_lba < layout.values_lba
+        assert layout.values_lba < layout.x_lba
+        assert layout.x_lba < layout.total_pages
+
+    def test_region_sizes_cover_data(self):
+        g = uniform_random_graph(512, degree=8, seed=1)
+        layout = layout_graph(g)
+        row_pages = layout.col_idx_lba - layout.row_ptr_lba
+        assert row_pages * 4096 >= g.row_ptr.nbytes
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(min_value=4, max_value=200),
+    degree=st.integers(min_value=1, max_value=8),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_csr_invariants(n, degree, seed):
+    """Property: any generated CSR is structurally valid."""
+    g = uniform_random_graph(n, degree=degree, seed=seed)
+    assert g.row_ptr[0] == 0
+    assert g.row_ptr[-1] == len(g.col_idx)
+    assert (np.diff(g.row_ptr) >= 0).all()
+    if g.num_edges:
+        assert g.col_idx.min() >= 0
+        assert g.col_idx.max() < n
