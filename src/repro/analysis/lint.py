@@ -1,0 +1,336 @@
+"""AST-based simulation-safety lint (``python -m repro.analysis.lint``).
+
+A discrete-event simulation has correctness rules ordinary linters do not
+know about; this one enforces the repository's:
+
+- **AGL001** — no wall-clock reads (``time.time``, ``time.monotonic``,
+  ``datetime.now``, ...) outside ``bench/``: simulated components must
+  derive every timestamp from ``sim.now`` or results silently depend on
+  host speed.
+- **AGL002** — no unseeded/global randomness (``random`` module,
+  ``np.random.<fn>``, bare ``np.random.default_rng()``) outside ``bench/``
+  and ``rng.py``: all stochastic behaviour must flow through the named
+  :class:`~repro.sim.rng.RngStreams` so runs are bit-reproducible.
+- **AGL003** — no blocking host calls (``time.sleep``, ``subprocess``,
+  ``socket``, ``input``, ...) inside generator processes: a real block
+  inside a simulated process freezes the event loop instead of advancing
+  simulated time.
+- **AGL004** — generator processes must yield awaitables; yielding a bare
+  number/string/container is always a bug (the engine raises ``SimError``
+  at runtime; the lint catches it before a run does).
+- **AGL005** — attribute accesses on config objects (``cfg.*``, ``*_cfg.*``,
+  ``api.*``) must name fields that actually exist on some
+  :mod:`repro.config` dataclass — typos otherwise surface only on the
+  first simulated access, possibly hours into a sweep.
+
+Exit status is 0 when clean, 1 when any violation is found.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Set
+
+WALLCLOCK_CALLS = {
+    "time.time",
+    "time.monotonic",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.process_time",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+}
+
+BLOCKING_CALLS = {"time.sleep", "os.system", "input", "breakpoint"}
+BLOCKING_PREFIXES = ("subprocess.", "socket.", "requests.", "urllib.")
+
+#: ``np.random.<fn>`` calls that hit numpy's unseeded global state.
+UNSEEDED_NP_FUNCS = {
+    "rand", "randn", "random", "randint", "random_sample", "choice",
+    "shuffle", "permutation", "seed", "bytes", "normal", "uniform",
+}
+
+CONFIG_BASE_NAMES = {"cfg", "config", "api"}
+
+
+@dataclass(frozen=True)
+class Violation:
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+def _config_attr_names() -> Set[str]:
+    """Every legal attribute name on the repro.config namespace: module
+    members plus fields/properties/methods of each config dataclass."""
+    import dataclasses
+
+    from repro import config as config_mod
+
+    names: Set[str] = {n for n in dir(config_mod) if not n.startswith("_")}
+    for obj in vars(config_mod).values():
+        if isinstance(obj, type) and dataclasses.is_dataclass(obj):
+            for f in dataclasses.fields(obj):
+                names.add(f.name)
+            for attr in dir(obj):
+                if not attr.startswith("_"):
+                    names.add(attr)
+    return names
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    """Reconstruct a dotted name from a Name/Attribute chain."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _is_generator(fn: ast.AST) -> bool:
+    """True if the function's own body (not nested defs) yields."""
+    return any(
+        isinstance(n, (ast.Yield, ast.YieldFrom))
+        for n in _own_nodes(fn)
+    )
+
+
+def _own_nodes(fn: ast.AST) -> Iterable[ast.AST]:
+    """Nodes belonging to ``fn`` itself, not to nested function defs."""
+    stack = list(ast.iter_child_nodes(fn))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+class _FileLinter:
+    def __init__(
+        self,
+        path: Path,
+        tree: ast.Module,
+        config_attrs: Set[str],
+        display_path: str,
+    ):
+        self.path = path
+        self.display = display_path
+        self.tree = tree
+        self.config_attrs = config_attrs
+        self.violations: List[Violation] = []
+        parts = path.as_posix().split("/")
+        #: ``bench`` measures host wall time legitimately; ``rng.py`` is
+        #: the seeded-stream factory itself.  Seeded calls like
+        #: ``np.random.default_rng(seed)`` pass everywhere.
+        self.wallclock_ok = "bench" in parts
+        self.random_ok = "bench" in parts or path.name == "rng.py"
+
+    def add(self, node: ast.AST, code: str, message: str) -> None:
+        self.violations.append(
+            Violation(
+                self.display, getattr(node, "lineno", 0),
+                getattr(node, "col_offset", 0), code, message,
+            )
+        )
+
+    def run(self) -> List[Violation]:
+        imports_random = any(
+            isinstance(n, ast.Import)
+            and any(a.name == "random" for a in n.names)
+            or isinstance(n, ast.ImportFrom) and n.module == "random"
+            for n in ast.walk(self.tree)
+        )
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Call):
+                self._check_call(node, imports_random)
+            elif isinstance(node, ast.Attribute):
+                self._check_config_attr(node)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if _is_generator(node):
+                    self._check_generator(node)
+        return self.violations
+
+    # -- rules -----------------------------------------------------------------
+
+    def _check_call(self, node: ast.Call, imports_random: bool) -> None:
+        dotted = _dotted(node.func)
+        if dotted is None:
+            return
+        if not self.wallclock_ok and dotted in WALLCLOCK_CALLS:
+            self.add(
+                node, "AGL001",
+                f"wall-clock call {dotted}() in simulated code; derive "
+                f"time from sim.now",
+            )
+        if not self.random_ok:
+            if imports_random and (
+                dotted.startswith("random.") or dotted == "random"
+            ):
+                self.add(
+                    node, "AGL002",
+                    f"stdlib random call {dotted}() bypasses the seeded "
+                    f"RngStreams",
+                )
+            tail = dotted.split(".")
+            if len(tail) >= 2 and tail[-2] == "random" and tail[0] in (
+                "np", "numpy"
+            ):
+                fn = tail[-1]
+                if fn in UNSEEDED_NP_FUNCS:
+                    self.add(
+                        node, "AGL002",
+                        f"unseeded numpy global RNG call {dotted}()",
+                    )
+                elif fn == "default_rng" and not (node.args or node.keywords):
+                    self.add(
+                        node, "AGL002",
+                        "np.random.default_rng() without a seed is "
+                        "non-reproducible",
+                    )
+
+    def _check_generator(self, fn: ast.AST) -> None:
+        for node in _own_nodes(fn):
+            if isinstance(node, ast.Call):
+                dotted = _dotted(node.func)
+                if dotted is None:
+                    continue
+                if dotted in BLOCKING_CALLS or dotted.startswith(
+                    BLOCKING_PREFIXES
+                ):
+                    self.add(
+                        node, "AGL003",
+                        f"blocking call {dotted}() inside generator process "
+                        f"{fn.name!r} freezes the event loop; yield a "
+                        f"Timeout instead",
+                    )
+            elif isinstance(node, ast.Yield) and node.value is not None:
+                value = node.value
+                bad = None
+                if isinstance(value, ast.Constant) and value.value is not None:
+                    bad = f"constant {value.value!r}"
+                elif isinstance(value, (ast.List, ast.Dict, ast.Set)):
+                    bad = "container literal"
+                if bad is not None:
+                    self.add(
+                        node, "AGL004",
+                        f"process {fn.name!r} yields {bad}; processes may "
+                        f"only yield Timeout/Event/Process/None awaitables",
+                    )
+
+    def _check_config_attr(self, node: ast.Attribute) -> None:
+        base = node.value
+        base_name: Optional[str] = None
+        if isinstance(base, ast.Name):
+            base_name = base.id
+        elif isinstance(base, ast.Attribute):
+            base_name = base.attr
+        if base_name is None:
+            return
+        if base_name not in CONFIG_BASE_NAMES and not base_name.endswith(
+            "_cfg"
+        ):
+            return
+        if node.attr.startswith("_"):
+            return
+        if node.attr not in self.config_attrs:
+            self.add(
+                node, "AGL005",
+                f"config attribute {base_name}.{node.attr} does not exist "
+                f"on any repro.config dataclass (typo?)",
+            )
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterable[Path]:
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            yield from sorted(p.rglob("*.py"))
+        elif p.suffix == ".py":
+            yield p
+
+
+def _harvest_config_classes(trees: Iterable[ast.Module]) -> Set[str]:
+    """Attribute names of every ``*Config``/``*Spec`` class defined in the
+    linted files — variables named ``cfg``/``config`` often hold local
+    config dataclasses (``LaunchConfig``, workload configs), not just
+    :mod:`repro.config` ones."""
+    names: Set[str] = set()
+    for tree in trees:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not (node.name.endswith("Config") or node.name.endswith("Spec")):
+                continue
+            for stmt in node.body:
+                if isinstance(stmt, ast.AnnAssign) and isinstance(
+                    stmt.target, ast.Name
+                ):
+                    names.add(stmt.target.id)
+                elif isinstance(stmt, ast.Assign):
+                    for tgt in stmt.targets:
+                        if isinstance(tgt, ast.Name):
+                            names.add(tgt.id)
+                elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    names.add(stmt.name)
+    return names
+
+
+def lint_paths(paths: Sequence[str]) -> List[Violation]:
+    violations: List[Violation] = []
+    parsed: List[tuple[Path, ast.Module]] = []
+    for path in iter_python_files(paths):
+        try:
+            tree = ast.parse(path.read_text(encoding="utf-8"))
+        except SyntaxError as exc:
+            violations.append(
+                Violation(str(path), exc.lineno or 0, 0, "AGL000",
+                          f"syntax error: {exc.msg}")
+            )
+            continue
+        parsed.append((path, tree))
+    config_attrs = _config_attr_names() | _harvest_config_classes(
+        tree for _, tree in parsed
+    )
+    for path, tree in parsed:
+        violations.extend(
+            _FileLinter(path, tree, config_attrs, str(path)).run()
+        )
+    return violations
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.lint",
+        description="AGILE simulation-safety lint",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    args = parser.parse_args(argv)
+    violations = lint_paths(args.paths)
+    for v in violations:
+        print(v)
+    if violations:
+        print(f"{len(violations)} violation(s)")
+        return 1
+    print("simulation-safety lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -31,7 +31,6 @@ from typing import Any, Dict, Generator, List, Optional
 import numpy as np
 
 from repro.config import SystemConfig
-from repro.core.buffers import Transaction
 from repro.core.cache import CacheLine, LineState
 from repro.core.locks import AgileLock, AgileLockChain, LockDebugger
 from repro.core.policies import ClockPolicy

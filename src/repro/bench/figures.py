@@ -8,20 +8,19 @@ record produced by these drivers.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
 from repro.bench.report import FigureResult
 from repro.kir.kernels import figure12_registers
-from repro.workloads.bfs import bfs_reference, run_bfs
+from repro.workloads.bfs import run_bfs
 from repro.workloads.criteo import CriteoTrace, make_criteo_trace
 from repro.workloads.ctc import ideal_speedup, run_ctc_experiment
 from repro.workloads.dlrm import DlrmConfig, DLRM_CONFIGS, run_dlrm
 from repro.workloads.graphs import kronecker_graph, uniform_random_graph
 from repro.workloads.io_sweep import run_bandwidth_sweep
-from repro.workloads.spmv import run_spmv, spmv_reference
-from repro.workloads.vecmean import run_vector_mean
+from repro.workloads.spmv import run_spmv
 
 # -- Fig. 7-10 shared DLRM setup ---------------------------------------------
 
@@ -249,15 +248,17 @@ def _graph_breakdown(app: str, graph, x=None, cache_lines: int = 2048,
     """Three-step methodology (paper §4.5): kernel-only, preloaded-cache,
     full run, for AGILE and BaM."""
     if app == "bfs":
-        run = lambda system, preload: run_bfs(
-            system, graph, 0, preload=preload, cache_lines=cache_lines,
-            num_threads=num_threads,
-        ).total_ns
+        def run(system, preload):
+            return run_bfs(
+                system, graph, 0, preload=preload, cache_lines=cache_lines,
+                num_threads=num_threads,
+            ).total_ns
     else:
-        run = lambda system, preload: run_spmv(
-            system, graph, x, preload=preload, cache_lines=cache_lines,
-            num_threads=num_threads,
-        ).total_ns
+        def run(system, preload):
+            return run_spmv(
+                system, graph, x, preload=preload, cache_lines=cache_lines,
+                num_threads=num_threads,
+            ).total_ns
     kernel_ns = run("native", False)
     out = {"kernel": kernel_ns}
     for system in ("agile", "bam"):
@@ -373,7 +374,7 @@ def abl_coalescing(trace: Optional[CriteoTrace] = None, **overrides) -> FigureRe
 def abl_policies(data_pages: int = 512, **overrides) -> FigureResult:
     """Cache-policy flexibility: same workload under the four built-ins."""
     from repro.config import CacheConfig, SsdConfig, SystemConfig
-    from repro.core import AgileHost, AgileLockChain, make_policy
+    from repro.core import AgileHost, AgileLockChain
     from repro.gpu import KernelSpec, LaunchConfig
 
     rows = []

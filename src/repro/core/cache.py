@@ -25,13 +25,12 @@ The optional host-DRAM victim tier implements the first §5 extension.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Generator, Optional
 
 import numpy as np
 
 from repro.config import ApiCostConfig, CacheConfig
-from repro.core.buffers import Transaction
 from repro.core.issue import IssueEngine
 from repro.core.locks import AgileLock, AgileLockChain, LockDebugger
 from repro.core.policies import CachePolicy
@@ -155,6 +154,24 @@ class SoftwareCache:
         self._set_locks = [
             AgileLock(sim, f"cacheset{i}", debugger) for i in range(self.num_sets)
         ]
+        #: Optional :class:`~repro.sim.trace.EventLog` for protocol events.
+        self.log = None
+
+    # -- state transitions ---------------------------------------------------------
+
+    def set_line_state(
+        self, line: CacheLine, new: LineState, reason: str = ""
+    ) -> None:
+        """Single funnel for every line-state change, so an attached event
+        log sees each transition (the cache state-machine checker validates
+        them against the paper-legal set)."""
+        old = line.state
+        line.state = new
+        if self.log is not None and old is not new:
+            self.log.emit(
+                "cache.state", src=self, line=line.index, set=line.set_idx,
+                way=line.way, old=old, new=new, tag=line.tag, reason=reason,
+            )
 
     # -- geometry ------------------------------------------------------------------
 
@@ -212,7 +229,9 @@ class SoftwareCache:
                         if pin:
                             line.pins += 1
                         if for_write:
-                            line.state = LineState.MODIFIED
+                            self.set_line_state(
+                                line, LineState.MODIFIED, reason="hit_write"
+                            )
                         return line
                     # case (c): BUSY — another thread's fill is in flight.
                     self.stats.add("busy_hits")
@@ -247,7 +266,7 @@ class SoftwareCache:
                     return line
                 yield from line.ready_gate.wait()
             if for_write:
-                line.state = LineState.MODIFIED
+                self.set_line_state(line, LineState.MODIFIED, reason="fill_write")
             return line
 
     def _claim_way(
@@ -293,7 +312,7 @@ class SoftwareCache:
                         victim.tag, np.array(victim.buffer, copy=True)
                     )
         victim.tag = tag
-        victim.state = LineState.BUSY
+        self.set_line_state(victim, LineState.BUSY, reason="claim")
         victim.ready_gate = Gate(self.sim, name=f"line{victim.index}.ready")
         victim.pins = 0
         self._tags[tag] = victim
@@ -344,7 +363,7 @@ class SoftwareCache:
             # which the new owner will overwrite).
             self.stats.add("stale_fills")
             return
-        line.state = LineState.READY
+        self.set_line_state(line, LineState.READY, reason="fill")
         self.policy.on_fill(line.set_idx, line.way)
         line.ready_gate.open()
 
@@ -362,6 +381,11 @@ class SoftwareCache:
         if not line.valid:
             raise SimError(f"reading line {line.index} in state {line.state}")
         n = line.buffer.size if nbytes is None else nbytes
+        if self.log is not None:
+            self.log.emit(
+                "cache.access", src=self, line=line.index, tag=line.tag,
+                tid=tc.tid, rw="r", pinned=line.pins > 0,
+            )
         yield from tc.hbm_load(n)
         return line.buffer[:n]
 
@@ -370,9 +394,14 @@ class SoftwareCache:
     ) -> Generator[Any, Any, None]:
         """Copy data into a pinned line and mark it MODIFIED."""
         raw = np.ascontiguousarray(data).view(np.uint8).reshape(-1)
+        if self.log is not None:
+            self.log.emit(
+                "cache.access", src=self, line=line.index, tag=line.tag,
+                tid=tc.tid, rw="w", pinned=line.pins > 0,
+            )
         yield from tc.hbm_store(raw.size)
         line.buffer[offset : offset + raw.size] = raw
-        line.state = LineState.MODIFIED
+        self.set_line_state(line, LineState.MODIFIED, reason="write_line")
 
     # -- host-side helpers ------------------------------------------------------------
 
@@ -386,7 +415,7 @@ class SoftwareCache:
                 raw = np.ascontiguousarray(data).view(np.uint8).reshape(-1)
                 line.buffer[: raw.size] = raw
                 line.tag = tag
-                line.state = LineState.READY
+                self.set_line_state(line, LineState.READY, reason="preload")
                 line.ready_gate.open()
                 self._tags[tag] = line
                 self.policy.on_fill(set_idx, line.way)

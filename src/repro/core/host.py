@@ -30,6 +30,7 @@ from repro.core.sharetable import SharePolicy, ShareTable
 from repro.core.buffers import AgileBuf
 from repro.gpu.device import Gpu, KernelLaunch
 from repro.gpu.kernel import KernelSpec, LaunchConfig
+from repro.analysis import hooks as analysis_hooks
 from repro.nvme.driver import NvmeDriver
 from repro.nvme.flash import load_array, read_array
 from repro.sim.engine import Simulator
@@ -126,6 +127,9 @@ class AgileHost:
             self.share_table,
             stats=self.trace.group("ctrl"),
         )
+        #: Populated by ``repro.analysis.attach`` (directly, or via the
+        #: ``--agile-checks`` pytest flag / ``analysis_hooks.enable()``).
+        self.analysis = analysis_hooks.maybe_attach(self)
 
     # -- data staging (host side, no simulated time) -------------------------
 

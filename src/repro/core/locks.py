@@ -40,10 +40,19 @@ class LockDebugger:
         self._edges: Dict["AgileLock", Set["AgileLock"]] = {}
         self.checks = 0
         self.deadlocks_found = 0
+        #: Optional :class:`~repro.sim.trace.EventLog`; every lock operation
+        #: of every :class:`AgileLock` built with this debugger is emitted
+        #: here, which is what the offline lock-order analyzer replays.
+        self.log = None
 
     def on_failed_acquire(
         self, chain: "AgileLockChain", target: "AgileLock"
     ) -> None:
+        if self.log is not None:
+            self.log.emit(
+                "lock.blocked", src=target, lock=target.name, chain=chain.name,
+                held=[l.name for l in chain.held],
+            )
         if not self.enabled or not chain.held:
             return
         for held in chain.held:
@@ -62,6 +71,12 @@ class LockDebugger:
             )
 
     def on_acquired(self, chain: "AgileLockChain", target: "AgileLock") -> None:
+        if self.log is not None:
+            # ``chain.held`` already contains ``target`` at this point.
+            self.log.emit(
+                "lock.acquire", src=target, lock=target.name, chain=chain.name,
+                held_before=[l.name for l in chain.held if l is not target],
+            )
         if not self.enabled:
             return
         for held in chain.held:
@@ -69,7 +84,14 @@ class LockDebugger:
             if deps is not None:
                 deps.discard(target)
 
-    def on_release(self, lock: "AgileLock") -> None:
+    def on_release(
+        self, lock: "AgileLock", chain: Optional["AgileLockChain"] = None
+    ) -> None:
+        if self.log is not None:
+            self.log.emit(
+                "lock.release", src=lock, lock=lock.name,
+                chain=chain.name if chain is not None else None,
+            )
         if not self.enabled:
             return
         self._edges.pop(lock, None)
@@ -175,7 +197,7 @@ class AgileLock:
         self._lock.release(chain)
         chain._pop(self)
         if self.debugger is not None:
-            self.debugger.on_release(self)
+            self.debugger.on_release(self, chain)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"AgileLock({self.name!r}, locked={self.locked})"

@@ -87,6 +87,19 @@ class ShareTable:
         self.policy = policy if policy is not None else SharePolicy()
         self.stats = stats if stats is not None else Counter()
         self._entries: Dict[tuple[int, int], ShareEntry] = {}
+        #: Optional :class:`~repro.sim.trace.EventLog` for protocol events.
+        self.log = None
+
+    def _set_state(self, entry: ShareEntry, new: BufState, reason: str) -> None:
+        """Single funnel for entry-state changes (checked by analysis)."""
+        old = entry.state
+        entry.state = new
+        if self.log is not None and old is not new:
+            self.log.emit(
+                "share.state", src=self, tag=entry.tag, old=old, new=new,
+                refcount=entry.refcount, owner_tid=entry.owner_tid,
+                reason=reason,
+            )
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -118,9 +131,9 @@ class ShareTable:
             return None
         entry.refcount += 1
         if entry.state is BufState.EXCLUSIVE:
-            entry.state = BufState.SHARED
+            self._set_state(entry, BufState.SHARED, "lookup_share")
         elif entry.state is BufState.MODIFIED:
-            entry.state = BufState.OWNED
+            self._set_state(entry, BufState.OWNED, "lookup_share")
         self.stats.add("share_hits")
         return entry.buf
 
@@ -140,13 +153,19 @@ class ShareTable:
             self.stats.add("share_races")
             old.refcount += 1
             if old.state is BufState.EXCLUSIVE:
-                old.state = BufState.SHARED
+                self._set_state(old, BufState.SHARED, "register_race")
             elif old.state is BufState.MODIFIED:
-                old.state = BufState.OWNED
+                self._set_state(old, BufState.OWNED, "register_race")
             return old, False
         entry = ShareEntry(tag=tag, buf=buf, owner_tid=tc.tid)
         self._entries[tag] = entry
         self.stats.add("share_registers")
+        if self.log is not None:
+            self.log.emit(
+                "share.register", src=self, tag=tag, owner_tid=tc.tid,
+                replaced_refcount=old.refcount if old is not None else 0,
+                replaced_same_buf=old is not None and old.buf is buf,
+            )
         return entry, True
 
     def mark_modified(self, tc: ThreadContext, tag: tuple[int, int]) -> None:
@@ -155,9 +174,9 @@ class ShareTable:
         if entry is None:
             raise SimError(f"mark_modified on unregistered source {tag}")
         if entry.state in (BufState.EXCLUSIVE, BufState.MODIFIED):
-            entry.state = BufState.MODIFIED
+            self._set_state(entry, BufState.MODIFIED, "mark_modified")
         else:
-            entry.state = BufState.OWNED
+            self._set_state(entry, BufState.OWNED, "mark_modified")
         self.stats.add("share_modifications")
 
     def release(
@@ -177,7 +196,7 @@ class ShareTable:
         if entry.state in (BufState.MODIFIED, BufState.OWNED):
             yield from self._propagate_to_cache(tc, entry)
         self._entries.pop(tag, None)
-        entry.state = BufState.INVALID
+        self._set_state(entry, BufState.INVALID, "retire")
 
     def _propagate_to_cache(
         self, tc: ThreadContext, entry: ShareEntry
@@ -191,5 +210,5 @@ class ShareTable:
         data = np.asarray(entry.buf.view[: line.buffer.size])
         yield from tc.hbm_store(data.size)
         line.buffer[: data.size] = data
-        line.state = LineState.MODIFIED
+        self.cache.set_line_state(line, LineState.MODIFIED, reason="propagate")
         self.stats.add("share_propagated")

@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Any, Generator, Optional, Sequence
 
 from repro.config import GpuConfig
-from repro.gpu.kernel import KernelSpec, LaunchConfig, Occupancy, occupancy
+from repro.gpu.kernel import KernelSpec, LaunchConfig, occupancy
 from repro.gpu.sm import StreamingMultiprocessor
 from repro.gpu.thread import ThreadContext
 from repro.gpu.warp import Warp

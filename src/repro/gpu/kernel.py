@@ -10,7 +10,7 @@ register usage) matters.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Generator
 
 from repro.config import GpuConfig

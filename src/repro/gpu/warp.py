@@ -15,7 +15,7 @@ participate in a round pass ``NOT_PARTICIPATING`` (the predicated-off case).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, Generator, Hashable, List, Optional
 
 from repro.sim.engine import Event, SimError, Simulator

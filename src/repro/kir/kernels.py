@@ -93,7 +93,7 @@ def spmv_trace(variant: str) -> Trace:
     matrix value, dense-vector element), FMA accumulation."""
     b = TraceBuilder(f"spmv.{variant}")
     row_base = b.param("row_base", width=2)
-    col_base = b.param("col_base", width=2)
+    _col_base = b.param("col_base", width=2)
     val_base = b.param("val_base", width=2)
     x_base = b.param("x_base", width=2)
     y_base = b.param("y_base", width=2)

@@ -9,7 +9,7 @@ allocator applies to back edges).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence, Tuple
+from typing import List, Tuple
 
 
 @dataclass(frozen=True)

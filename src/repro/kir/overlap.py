@@ -14,7 +14,7 @@ relative order.
 
 from __future__ import annotations
 
-from typing import Dict, List, Set
+from typing import Set
 
 from repro.kir.ops import Instr, Trace
 

@@ -69,16 +69,22 @@ class Doorbell:
         #: Last value written by the GPU (in flight until visible).
         self.written_value = 0
         self.rings = 0
+        #: Optional :class:`~repro.sim.trace.EventLog` for protocol events.
+        self.log = None
 
     def ring(self, value: int) -> Generator[Any, Any, None]:
         """GPU-side posted MMIO write of ``value``."""
         self.rings += 1
         self.written_value = value
+        if self.log is not None:
+            self.log.emit("mmio.ring", src=self, name=self.name, value=value)
         yield Timeout(self.cfg.mmio_write_ns)
         arrival = self.sim.now + self.cfg.latency_ns
         self.sim.call_at(arrival, lambda v=value: self._deliver(v))
 
     def _deliver(self, value: int) -> None:
         self.device_value = value
+        if self.log is not None:
+            self.log.emit("mmio.deliver", src=self, name=self.name, value=value)
         if self.observer is not None:
             self.observer(value)

@@ -11,7 +11,7 @@ Figures 5 and 6.
 
 from __future__ import annotations
 
-from typing import Any, Generator, Optional
+from typing import Any, Generator
 
 import numpy as np
 

@@ -59,6 +59,8 @@ class SubmissionQueue:
         self.doorbell = doorbell
         self.entries: List[Optional[NvmeCommand]] = [None] * depth
         self.state: List[SlotState] = [SlotState.EMPTY] * depth
+        #: Optional :class:`~repro.sim.trace.EventLog` for protocol events.
+        self.log = None
         #: Monotonic count of slots ever reserved (next slot = alloc_tail % depth).
         self.alloc_tail = 0
         #: Monotonic publish pointer: slots below it have been doorbell-visible.
@@ -83,6 +85,11 @@ class SubmissionQueue:
             return None
         self.state[slot] = SlotState.RESERVED
         self.alloc_tail += 1
+        if self.log is not None:
+            self.log.emit(
+                "sq.reserve", src=self, qid=self.qid, slot=slot, cid=slot,
+                alloc_tail=self.alloc_tail,
+            )
         return slot, slot
 
     def publish(self, slot: int, cmd: NvmeCommand) -> None:
@@ -95,6 +102,10 @@ class SubmissionQueue:
         cmd.slot = slot
         self.entries[slot] = cmd
         self.state[slot] = SlotState.UPDATED
+        if self.log is not None:
+            self.log.emit(
+                "sq.publish", src=self, qid=self.qid, slot=slot, cid=cmd.cid
+            )
 
     def advance_tail(self) -> Optional[int]:
         """Scan UPDATED slots in ring order, mark them ISSUED, and return the
@@ -109,6 +120,11 @@ class SubmissionQueue:
             self.issued_tail += 1
             self.submitted += 1
             moved = True
+        if moved and self.log is not None:
+            self.log.emit(
+                "sq.advance", src=self, qid=self.qid, tail=self.issued_tail,
+                alloc_tail=self.alloc_tail,
+            )
         return self.issued_tail if moved else None
 
     def release(self, slot: int) -> None:
@@ -119,6 +135,8 @@ class SubmissionQueue:
             )
         self.entries[slot] = None
         self.state[slot] = SlotState.EMPTY
+        if self.log is not None:
+            self.log.emit("sq.release", src=self, qid=self.qid, slot=slot)
 
     # -- consumer (SSD) side ---------------------------------------------------
 
@@ -138,6 +156,12 @@ class SubmissionQueue:
                 f"{self.state[slot].name} (doorbell raced ahead of memory?)"
             )
         self.fetch_head += 1
+        if self.log is not None:
+            self.log.emit(
+                "sq.fetch", src=self, qid=self.qid, slot=slot, cid=cmd.cid,
+                fetch_head=self.fetch_head,
+                doorbell=self.doorbell.device_value,
+            )
         return cmd
 
     # -- introspection ----------------------------------------------------------
@@ -190,6 +214,8 @@ class CompletionQueue:
         self.host_head = 0
         self._space_waiters: list[Callable[[], None]] = []
         self.posted = 0
+        #: Optional :class:`~repro.sim.trace.EventLog` for protocol events.
+        self.log = None
 
     # -- device side -------------------------------------------------------------
 
@@ -218,7 +244,14 @@ class CompletionQueue:
         elif not self.device_has_space():
             raise SimError(f"CQ{self.qid}: post into a full queue")
         slot = self.device_tail % self.depth
-        self.slots[slot] = _CqSlot(completion, self._phase_at(self.device_tail))
+        phase = self._phase_at(self.device_tail)
+        self.slots[slot] = _CqSlot(completion, phase)
+        if self.log is not None:
+            self.log.emit(
+                "cq.post", src=self, qid=self.qid, pos=self.device_tail,
+                slot=slot, phase=phase, cid=completion.cid,
+                sq_id=completion.sq_id, head_doorbell=self.doorbell.device_value,
+            )
         self.device_tail += 1
         self.posted += 1
 
@@ -256,6 +289,8 @@ class CompletionQueue:
                 f"[{self.host_head}, {self.device_tail}]"
             )
         self.host_head = pos
+        if self.log is not None:
+            self.log.emit("cq.consume", src=self, qid=self.qid, pos=pos)
 
     @property
     def cqe_bytes(self) -> int:

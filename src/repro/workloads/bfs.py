@@ -28,7 +28,6 @@ from repro.core import AgileHost, AgileLockChain
 from repro.gpu import Gpu, KernelSpec, LaunchConfig
 from repro.sim import Simulator
 from repro.workloads.access import (
-    read_element,
     read_range,
     region,
     region_page_coords,

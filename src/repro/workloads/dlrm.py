@@ -23,7 +23,7 @@ Three systems, as in Figs. 7-10:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Literal, Optional, Sequence
+from typing import Dict, Literal, Optional, Sequence
 
 import numpy as np
 
@@ -31,7 +31,6 @@ from repro.baselines import BamHost
 from repro.config import CacheConfig, SsdConfig, SystemConfig
 from repro.core import AgileHost, AgileLockChain
 from repro.gpu import KernelSpec, LaunchConfig
-from repro.gpu.warp import NOT_PARTICIPATING
 from repro.workloads.criteo import CriteoTrace, make_criteo_trace
 
 SystemName = Literal["bam", "agile_sync", "agile_async"]

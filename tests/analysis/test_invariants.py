@@ -1,0 +1,230 @@
+"""Seeded violations of every runtime invariant checker class.
+
+Each test proves its checker fails *loudly*: either by feeding the exact
+event a buggy model would emit, or by breaking a real model and running
+the real protocol until the checker fires inside the model call.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import InvariantViolation, attach
+from repro.analysis.invariants import (
+    CacheStateChecker,
+    CqPhaseChecker,
+    ShareTableChecker,
+    SqConformanceChecker,
+)
+from repro.config import GpuConfig, PcieConfig
+from repro.core.cache import LineState
+from repro.core.sharetable import BufState
+from repro.mem import Hbm
+from repro.nvme.command import NvmeCompletion
+from repro.nvme.queue import make_queue_pair
+from repro.sim.trace import EventLog
+
+from tests.helpers import make_host, run_kernel
+
+
+class _FakeQueue:
+    """Stands in for an SQ/CQ as the ``src`` of synthetic events."""
+
+    def __init__(self, depth: int = 4):
+        self.depth = depth
+
+
+@pytest.fixture
+def log(sim):
+    return EventLog(sim)
+
+
+class TestSqConformance:
+    def test_cid_reuse_while_in_flight_fires(self, log):
+        checker = SqConformanceChecker().attach(log)
+        src = _FakeQueue()
+        log.emit("sq.publish", src=src, qid=0, slot=1, cid=1)
+        with pytest.raises(InvariantViolation, match="CID 1 reused"):
+            log.emit("sq.publish", src=src, qid=0, slot=1, cid=1)
+        assert checker.events_checked == 2
+
+    def test_cid_may_be_reused_after_release(self, log):
+        SqConformanceChecker().attach(log)
+        src = _FakeQueue()
+        log.emit("sq.publish", src=src, qid=0, slot=1, cid=1)
+        log.emit("sq.release", src=src, qid=0, slot=1)
+        log.emit("sq.publish", src=src, qid=0, slot=1, cid=1)  # fine
+
+    def test_issued_tail_regression_fires(self, log):
+        SqConformanceChecker().attach(log)
+        src = _FakeQueue()
+        log.emit("sq.advance", src=src, qid=0, tail=4, alloc_tail=4)
+        with pytest.raises(InvariantViolation, match="regressed"):
+            log.emit("sq.advance", src=src, qid=0, tail=2, alloc_tail=4)
+
+    def test_doorbell_ahead_of_visible_sqes_fires(self, sim, log):
+        """The §2.3.3 hazard: ringing a tail beyond the ISSUED entries."""
+        hbm = Hbm(sim, GpuConfig(), capacity=1 << 20)
+        qp = make_queue_pair(
+            sim, 0, 4, hbm.alloc(4 * 64), hbm.alloc(4 * 16), PcieConfig()
+        )
+        qp.sq.log = log
+        qp.sq.doorbell.log = log
+        checker = SqConformanceChecker()
+        checker.attach_sq(qp.sq)
+        checker.attach(log)
+        log.emit("sq.advance", src=qp.sq, qid=0, tail=1, alloc_tail=2)
+
+        def ring():
+            yield from qp.sq.doorbell.ring(2)  # tail 2 but only 1 ISSUED
+
+        proc = sim.spawn(ring(), name="ring")
+        with pytest.raises(Exception) as excinfo:
+            sim.run(until_procs=[proc])
+        assert "memory-visible" in str(excinfo.value) or "memory-visible" in (
+            str(excinfo.value.__cause__)
+        )
+
+
+class TestCqPhase:
+    def test_wrong_phase_bit_fires(self, log):
+        CqPhaseChecker().attach(log)
+        src = _FakeQueue(depth=4)
+        for pos in range(4):  # pass 0: phase True
+            log.emit(
+                "cq.post", src=src, qid=0, pos=pos, slot=pos, phase=True,
+                cid=pos, sq_id=0, head_doorbell=pos,
+            )
+        # Pass 1 must flip the phase to False; a stale True is a violation.
+        with pytest.raises(InvariantViolation, match="phase bit"):
+            log.emit(
+                "cq.post", src=src, qid=0, pos=4, slot=0, phase=True,
+                cid=0, sq_id=0, head_doorbell=4,
+            )
+
+    def test_non_consecutive_post_fires(self, log):
+        CqPhaseChecker().attach(log)
+        src = _FakeQueue(depth=4)
+        log.emit("cq.post", src=src, qid=0, pos=0, slot=0, phase=True,
+                 cid=0, sq_id=0, head_doorbell=0)
+        with pytest.raises(InvariantViolation, match="expected 1"):
+            log.emit("cq.post", src=src, qid=0, pos=2, slot=2, phase=True,
+                     cid=2, sq_id=0, head_doorbell=0)
+
+    def test_overwrite_of_unconsumed_entry_fires(self, log):
+        CqPhaseChecker().attach(log)
+        src = _FakeQueue(depth=2)
+        log.emit("cq.post", src=src, qid=0, pos=0, slot=0, phase=True,
+                 cid=0, sq_id=0, head_doorbell=0)
+        log.emit("cq.post", src=src, qid=0, pos=1, slot=1, phase=True,
+                 cid=1, sq_id=0, head_doorbell=0)
+        with pytest.raises(InvariantViolation, match="overwrites"):
+            log.emit("cq.post", src=src, qid=0, pos=2, slot=0, phase=False,
+                     cid=0, sq_id=0, head_doorbell=0)
+
+    def test_buggy_model_phase_caught_end_to_end(self, sim, log):
+        """Break the real CompletionQueue's phase computation and drive the
+        real post path: the checker must fail the device_post call."""
+        hbm = Hbm(sim, GpuConfig(), capacity=1 << 20)
+        qp = make_queue_pair(
+            sim, 0, 2, hbm.alloc(2 * 64), hbm.alloc(2 * 16), PcieConfig()
+        )
+        cq = qp.cq
+        cq.log = log
+        CqPhaseChecker().attach(log)
+        cq._phase_at = lambda pos: True  # the seeded bug: phase never flips
+        for pos in range(2):
+            cq.device_post(NvmeCompletion(cid=0, sq_id=0, sq_head=0))
+            cq.consume_to(pos + 1)
+            cq.doorbell.device_value = pos + 1  # host rang the head doorbell
+        with pytest.raises(InvariantViolation, match="phase bit"):
+            cq.device_post(NvmeCompletion(cid=0, sq_id=0, sq_head=0))
+
+
+class TestCacheState:
+    def test_illegal_transition_fires(self, log):
+        CacheStateChecker().attach(log)
+        with pytest.raises(InvariantViolation, match="BUSY -> MODIFIED"):
+            log.emit(
+                "cache.state", src=None, line=3, set=0, way=3,
+                old=LineState.BUSY, new=LineState.MODIFIED, tag=(0, 7),
+                reason="seeded",
+            )
+
+    def test_real_cache_illegal_transition_fires(self):
+        """Drive the real funnel: writing a BUSY line is the classic bug
+        (data lands, then the in-flight fill silently overwrites it)."""
+        host = make_host()
+        session = attach(host)
+        line, _wb = host.cache._claim_way(0, (0, 0))  # INVALID -> BUSY: legal
+        assert line.state is LineState.BUSY
+        with pytest.raises(InvariantViolation):
+            host.cache.set_line_state(line, LineState.MODIFIED, reason="bug")
+        assert session.log.emitted >= 2
+
+    def test_legal_lifecycle_is_silent(self, log):
+        checker = CacheStateChecker().attach(log)
+        legal = [
+            (LineState.INVALID, LineState.BUSY),
+            (LineState.BUSY, LineState.READY),
+            (LineState.READY, LineState.MODIFIED),
+            (LineState.MODIFIED, LineState.BUSY),
+        ]
+        for old, new in legal:
+            log.emit("cache.state", src=None, line=0, set=0, way=0,
+                     old=old, new=new, tag=(0, 0), reason="t")
+        assert checker.transitions == len(legal)
+
+
+class TestShareTable:
+    def test_illegal_transition_fires(self, log):
+        ShareTableChecker().attach(log)
+        with pytest.raises(InvariantViolation, match="OWNED -> EXCLUSIVE"):
+            log.emit(
+                "share.state", src=None, tag=(0, 1), old=BufState.OWNED,
+                new=BufState.EXCLUSIVE, refcount=1, owner_tid=0, reason="s",
+            )
+
+    def test_invalidate_with_live_references_fires(self, log):
+        ShareTableChecker().attach(log)
+        with pytest.raises(InvariantViolation, match="refcount 2"):
+            log.emit(
+                "share.state", src=None, tag=(0, 1), old=BufState.SHARED,
+                new=BufState.INVALID, refcount=2, owner_tid=0, reason="s",
+            )
+
+    def test_two_live_owners_fires(self, log):
+        ShareTableChecker().attach(log)
+        with pytest.raises(InvariantViolation, match="two owners"):
+            log.emit(
+                "share.register", src=None, tag=(0, 1), owner_tid=5,
+                replaced_refcount=1, replaced_same_buf=False,
+            )
+
+
+class TestEndToEndClean:
+    def test_real_workload_passes_all_checkers(self):
+        """A real cached-read workload emits hundreds of protocol events and
+        every checker stays silent; the offline report is clean too."""
+        host = make_host()
+        session = attach(host)
+        pages = 16
+        host.load_data(0, 0, np.arange(pages * 1024, dtype=np.uint32))
+
+        def body(tc, ctrl):
+            from repro.core import AgileLockChain
+
+            chain = AgileLockChain(f"clean.t{tc.tid}")
+            for i in range(3):
+                line = yield from ctrl.read_page(
+                    tc, chain, 0, (tc.tid + i) % pages
+                )
+                yield from ctrl.cache.read_line(tc, line, 64)
+                ctrl.cache.unpin(line)
+
+        run_kernel(host, body, grid=1, block=32)
+        assert session.log.emitted > 100
+        assert session.events_checked() > 0
+        report = session.report()
+        assert report.clean, report.summary()

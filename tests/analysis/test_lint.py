@@ -1,0 +1,159 @@
+"""The simulation-safety lint: each rule fires on a minimal offender and
+stays silent on the idiomatic equivalent — and the real tree is clean."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis.lint import lint_paths, main
+
+
+def run_lint(tmp_path, source, name="mod.py"):
+    f = tmp_path / name
+    f.write_text(source)
+    return lint_paths([str(f)])
+
+
+def codes(violations):
+    return [v.code for v in violations]
+
+
+class TestWallClock:
+    def test_time_time_in_simulated_code_fires(self, tmp_path):
+        v = run_lint(tmp_path, "import time\nt0 = time.time()\n")
+        assert codes(v) == ["AGL001"]
+        assert "sim.now" in v[0].message
+
+    def test_datetime_now_fires(self, tmp_path):
+        v = run_lint(
+            tmp_path, "import datetime\nd = datetime.datetime.now()\n"
+        )
+        assert codes(v) == ["AGL001"]
+
+    def test_bench_directory_is_exempt(self, tmp_path):
+        bench = tmp_path / "bench"
+        bench.mkdir()
+        f = bench / "timing.py"
+        f.write_text("import time\nt0 = time.time()\n")
+        assert lint_paths([str(f)]) == []
+
+
+class TestRandomness:
+    def test_stdlib_random_fires(self, tmp_path):
+        v = run_lint(tmp_path, "import random\nx = random.random()\n")
+        assert codes(v) == ["AGL002"]
+
+    def test_numpy_global_rng_fires(self, tmp_path):
+        v = run_lint(
+            tmp_path, "import numpy as np\nx = np.random.randint(10)\n"
+        )
+        assert codes(v) == ["AGL002"]
+
+    def test_unseeded_default_rng_fires(self, tmp_path):
+        v = run_lint(
+            tmp_path, "import numpy as np\nrng = np.random.default_rng()\n"
+        )
+        assert codes(v) == ["AGL002"]
+
+    def test_seeded_default_rng_is_fine(self, tmp_path):
+        assert run_lint(
+            tmp_path, "import numpy as np\nrng = np.random.default_rng(42)\n"
+        ) == []
+
+    def test_unrelated_dotted_random_attribute_is_fine(self, tmp_path):
+        # `stream.random()` on some object is not the stdlib module.
+        assert run_lint(
+            tmp_path, "def f(stream):\n    return stream.random()\n"
+        ) == []
+
+
+class TestBlockingCalls:
+    def test_sleep_inside_generator_fires(self, tmp_path):
+        src = (
+            "import time\n"
+            "def proc(sim):\n"
+            "    time.sleep(1)\n"
+            "    yield sim.timeout(5)\n"
+        )
+        v = run_lint(tmp_path, src)
+        assert "AGL003" in codes(v)
+        assert "proc" in v[codes(v).index("AGL003")].message
+
+    def test_sleep_outside_generator_is_agl001_free(self, tmp_path):
+        # Plain functions may sleep (host-side tooling); only processes
+        # (generators) must not block the event loop.
+        src = "import time\ndef warmup():\n    time.sleep(0.1)\n"
+        assert run_lint(tmp_path, src) == []
+
+    def test_nested_helper_not_blamed_on_outer_generator(self, tmp_path):
+        src = (
+            "import time\n"
+            "def proc(sim):\n"
+            "    def host_side():\n"
+            "        time.sleep(1)\n"
+            "    yield sim.timeout(5)\n"
+        )
+        assert run_lint(tmp_path, src) == []
+
+
+class TestYieldDiscipline:
+    def test_yield_bare_number_fires(self, tmp_path):
+        v = run_lint(tmp_path, "def proc():\n    yield 5\n")
+        assert codes(v) == ["AGL004"]
+
+    def test_yield_container_literal_fires(self, tmp_path):
+        v = run_lint(tmp_path, "def proc():\n    yield [1, 2]\n")
+        assert codes(v) == ["AGL004"]
+
+    def test_yield_none_and_calls_are_fine(self, tmp_path):
+        src = (
+            "def proc(sim):\n"
+            "    yield\n"
+            "    yield None\n"
+            "    yield sim.timeout(3)\n"
+        )
+        assert run_lint(tmp_path, src) == []
+
+
+class TestConfigAttrs:
+    def test_typoed_config_attribute_fires(self, tmp_path):
+        v = run_lint(
+            tmp_path, "def f(cfg):\n    return cfg.queue_depht_xyz\n"
+        )
+        assert codes(v) == ["AGL005"]
+        assert "typo" in v[0].message
+
+    def test_real_config_attribute_is_fine(self, tmp_path):
+        assert run_lint(
+            tmp_path, "def f(cfg):\n    return cfg.queue_depth\n"
+        ) == []
+
+    def test_locally_defined_config_class_attrs_are_known(self, tmp_path):
+        src = (
+            "class SweepConfig:\n"
+            "    warp_fanout: int = 4\n"
+            "def f(cfg):\n"
+            "    return cfg.warp_fanout\n"
+        )
+        assert run_lint(tmp_path, src) == []
+
+
+class TestCli:
+    def test_main_exit_codes(self, tmp_path, capsys):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("import time\nt = time.time()\n")
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        assert main([str(clean)]) == 0
+        assert main([str(dirty)]) == 1
+        out = capsys.readouterr().out
+        assert "AGL001" in out
+
+    def test_syntax_error_is_reported_not_crashed(self, tmp_path):
+        v = run_lint(tmp_path, "def broken(:\n")
+        assert codes(v) == ["AGL000"]
+
+
+def test_repo_source_tree_is_clean():
+    src = Path(__file__).resolve().parents[2] / "src" / "repro"
+    assert lint_paths([str(src)]) == []

@@ -1,0 +1,151 @@
+"""Lock-order analysis over real simulated lock traffic (paper §3.5).
+
+The central claim: a genuine A->B / B->A inversion is reported *even when
+the run never deadlocks* because the two processes touched the locks at
+disjoint simulated times — strictly stronger than the runtime
+LockDebugger, which only fires when the inversion actually blocks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import LockOrderAnalyzer, analyze
+from repro.core.locks import AgileLock, AgileLockChain, LockDebugger
+from repro.sim.engine import Timeout
+from repro.sim.trace import EventLog
+
+
+@pytest.fixture
+def traced(sim):
+    debugger = LockDebugger()
+    debugger.log = EventLog(sim)
+    return debugger
+
+
+def _locker(lock_x, lock_y, chain, hold_ns=10.0):
+    """Acquire x then y, hold briefly, release in LIFO order."""
+
+    def proc():
+        yield from lock_x.acquire(chain)
+        yield Timeout(hold_ns)
+        yield from lock_y.acquire(chain)
+        yield Timeout(hold_ns)
+        lock_y.release(chain)
+        lock_x.release(chain)
+
+    return proc()
+
+
+class TestInversionDetection:
+    def test_ab_ba_inversion_names_both_processes_and_locks(self, sim, traced):
+        """proc_fwd takes A->B at t=0; proc_rev takes B->A starting t=1000.
+        They never contend, the run completes cleanly, and the analyzer
+        still reports the latent deadlock with full attribution."""
+        lock_a = AgileLock(sim, "lockA", traced)
+        lock_b = AgileLock(sim, "lockB", traced)
+        fwd = AgileLockChain("proc_fwd")
+        rev = AgileLockChain("proc_rev")
+
+        def reversed_later():
+            yield Timeout(1000.0)  # long after proc_fwd released everything
+            yield from _locker(lock_b, lock_a, rev)
+
+        sim.spawn(_locker(lock_a, lock_b, fwd), name="fwd")
+        sim.spawn(reversed_later(), name="rev")
+        sim.run()  # completes: no deadlock in THIS interleaving
+
+        inversions = LockOrderAnalyzer().feed(
+            traced.log.events()
+        ).inversions()
+        assert len(inversions) == 1
+        inv = inversions[0]
+        assert {inv.lock_a, inv.lock_b} == {"lockA", "lockB"}
+        forward_chains = {c for c, _t in inv.forward_chains}
+        reverse_chains = {c for c, _t in inv.reverse_chains}
+        assert forward_chains == {"proc_fwd"}
+        assert reverse_chains == {"proc_rev"}
+        text = inv.describe()
+        assert "proc_fwd" in text and "proc_rev" in text
+        assert "lockA" in text and "lockB" in text
+
+    def test_consistent_order_is_clean(self, sim, traced):
+        lock_a = AgileLock(sim, "lockA", traced)
+        lock_b = AgileLock(sim, "lockB", traced)
+        for i in range(4):
+            sim.spawn(
+                _locker(lock_a, lock_b, AgileLockChain(f"w{i}")), name=f"w{i}"
+            )
+        sim.run()
+        analyzer = LockOrderAnalyzer().feed(traced.log.events())
+        assert analyzer.acquisitions == 8
+        assert analyzer.inversions() == []
+        assert analyzer.cycles() == []
+
+    def test_three_lock_cycle_caught_by_cycle_search(self, sim, traced):
+        """A->B, B->C, C->A: no pairwise inversion exists, only the DFS
+        cycle search sees the length-3 latent deadlock."""
+        locks = {n: AgileLock(sim, n, traced) for n in ("A", "B", "C")}
+
+        def staggered(first, second, chain_name, start):
+            chain = AgileLockChain(chain_name)
+
+            def proc():
+                yield Timeout(start)
+                yield from _locker(locks[first], locks[second], chain)
+
+            return proc()
+
+        sim.spawn(staggered("A", "B", "p0", 0.0), name="p0")
+        sim.spawn(staggered("B", "C", "p1", 500.0), name="p1")
+        sim.spawn(staggered("C", "A", "p2", 1000.0), name="p2")
+        sim.run()
+
+        analyzer = LockOrderAnalyzer().feed(traced.log.events())
+        assert analyzer.inversions() == []  # pairwise is blind here
+        cycles = analyzer.cycles()
+        assert len(cycles) == 1
+        assert set(cycles[0]) == {"A", "B", "C"}
+
+    def test_full_report_flags_inversion_as_not_clean(self, sim, traced):
+        lock_a = AgileLock(sim, "lockA", traced)
+        lock_b = AgileLock(sim, "lockB", traced)
+
+        def rev_later():
+            yield Timeout(1000.0)
+            yield from _locker(lock_b, lock_a, AgileLockChain("rev"))
+
+        sim.spawn(_locker(lock_a, lock_b, AgileLockChain("fwd")), name="f")
+        sim.spawn(rev_later(), name="r")
+        sim.run()
+        report = analyze(traced.log)
+        assert not report.clean
+        assert "lock-order inversion" in report.summary()
+
+
+class TestRealProtocolLockOrder:
+    def test_issue_path_lock_order_is_consistent(self):
+        """The real AGILE issue path (SQ slot -> doorbell lock) must show a
+        consistent global acquisition order across a whole workload."""
+        import numpy as np
+
+        from repro.analysis import attach
+        from repro.core import AgileLockChain as Chain
+
+        from tests.helpers import make_host, run_kernel
+
+        host = make_host()
+        session = attach(host)
+        host.load_data(0, 0, np.arange(8 * 1024, dtype=np.uint32))
+
+        def body(tc, ctrl):
+            chain = Chain(f"t{tc.tid}")
+            line = yield from ctrl.read_page(tc, chain, 0, tc.tid % 8)
+            yield from ctrl.cache.read_line(tc, line, 64)
+            ctrl.cache.unpin(line)
+
+        run_kernel(host, body, grid=1, block=16)
+        analyzer = LockOrderAnalyzer().feed(session.log.events())
+        assert analyzer.acquisitions > 0
+        assert analyzer.inversions() == []
+        assert analyzer.cycles() == []

@@ -1,10 +1,40 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite, and the ``--agile-checks`` flag.
+
+``pytest --agile-checks`` attaches the full :mod:`repro.analysis` runtime
+invariant-checker stack (NVMe queue conformance, cache state-machine
+legality, Share Table coherence, lock/event tracing) to every
+:class:`~repro.core.host.AgileHost` the suite constructs, so a protocol
+violation anywhere in the models fails the offending test loudly.
+"""
 
 from __future__ import annotations
 
 import pytest
 
 from repro.sim import Simulator
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--agile-checks",
+        action="store_true",
+        default=False,
+        help="attach repro.analysis invariant checkers to every AgileHost",
+    )
+
+
+def pytest_configure(config: pytest.Config) -> None:
+    if config.getoption("--agile-checks"):
+        from repro.analysis import hooks
+
+        hooks.enable()
+
+
+def pytest_unconfigure(config: pytest.Config) -> None:
+    if config.getoption("--agile-checks"):
+        from repro.analysis import hooks
+
+        hooks.disable()
 
 
 @pytest.fixture

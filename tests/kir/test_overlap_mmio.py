@@ -1,0 +1,97 @@
+"""The overlap pass must never reorder two ``st.mmio`` instructions.
+
+Doorbell writes are posted MMIO stores: the §2.3.3 serialization property
+AGILE's doorbell lock protects depends on them reaching the device in
+program order.  ``_depends`` therefore treats any ``st.mmio`` pair as
+ordered even when their registers are disjoint — this file pins that rule
+down, contrasting it with an ordinary store that *is* allowed to hoist.
+"""
+
+from __future__ import annotations
+
+from repro.kir.ops import Instr, Trace, VReg
+from repro.kir.overlap import _depends, overlap_distance, reorder_for_overlap
+
+
+def vreg(vid, name=""):
+    return VReg(vid=vid, name=name or f"v{vid}")
+
+
+def test_depends_orders_disjoint_mmio_stores():
+    ring_a = Instr(op="st.mmio", src=(vreg(1, "sq0_tail"),))
+    ring_b = Instr(op="st.mmio", src=(vreg(2, "sq1_tail"),))
+    assert _depends(ring_b, ring_a)  # no shared registers, still ordered
+    assert _depends(ring_a, ring_b)  # symmetric: the rule is a total order
+
+
+def test_depends_leaves_disjoint_plain_stores_free():
+    st_a = Instr(op="st.global", src=(vreg(1),))
+    st_b = Instr(op="st.global", src=(vreg(2),))
+    assert not _depends(st_b, st_a)
+
+
+def test_issue_mmio_never_hoists_past_earlier_mmio():
+    """An issue-kind doorbell ring with no register overlap against an
+    earlier ring must stay behind it, even though every dataflow check
+    would let it float all the way up."""
+    addr = vreg(0, "addr")
+    tail0, tail1, result = vreg(1, "tail0"), vreg(2, "tail1"), vreg(3, "r")
+    trace = Trace(
+        name="two_rings",
+        instrs=[
+            Instr(op="st.mmio", src=(tail0,)),             # ring SQ0
+            Instr(op="add", dst=(result,), src=(addr,)),   # unrelated compute
+            Instr(op="st.mmio", src=(tail1,), kind="issue"),  # ring SQ1
+            Instr(op="ld.global", dst=(vreg(4),), src=(result,), kind="use"),
+        ],
+    )
+    out = reorder_for_overlap(trace)
+    mmio_positions = [i for i, ins in enumerate(out.instrs)
+                      if ins.op == "st.mmio"]
+    assert len(mmio_positions) == 2
+    first, second = mmio_positions
+    assert out.instrs[first].src == (tail0,)
+    assert out.instrs[second].src == (tail1,)
+    # The second ring hoisted past the compute but stopped at the first ring.
+    assert second == first + 1
+
+
+def test_non_mmio_issue_hoists_where_mmio_cannot():
+    """Control case: the identical trace shape with a plain async load in
+    place of the second doorbell ring hoists to the very top."""
+    addr = vreg(0, "addr")
+    tail0, page, result = vreg(1, "tail0"), vreg(2, "page"), vreg(3, "r")
+
+    def build(op):
+        return Trace(
+            name="ctrl",
+            instrs=[
+                Instr(op="st.mmio", src=(tail0,)),
+                Instr(op="add", dst=(result,), src=(addr,)),
+                Instr(op=op, src=(page,), kind="issue"),
+                Instr(op="ld.global", dst=(vreg(4),), src=(result,),
+                      kind="use"),
+            ],
+        )
+
+    mmio_out = reorder_for_overlap(build("st.mmio"))
+    plain_out = reorder_for_overlap(build("agile.read_async"))
+    assert plain_out.instrs[0].op == "agile.read_async"  # hoisted to top
+    assert mmio_out.instrs[0].op == "st.mmio"
+    assert mmio_out.instrs[1].op == "st.mmio"  # blocked by the ordering rule
+    # The freedom to hoist is exactly the overlap the rule trades away.
+    assert overlap_distance(plain_out) > overlap_distance(mmio_out)
+
+
+def test_reorder_is_idempotent_with_mmio_pairs():
+    tail0, tail1 = vreg(1), vreg(2)
+    trace = Trace(
+        name="rings",
+        instrs=[
+            Instr(op="st.mmio", src=(tail0,), kind="issue"),
+            Instr(op="st.mmio", src=(tail1,), kind="issue"),
+        ],
+    )
+    once = reorder_for_overlap(trace)
+    twice = reorder_for_overlap(once)
+    assert [i.src for i in once.instrs] == [i.src for i in twice.instrs]
