@@ -22,6 +22,12 @@ know about; this one enforces the repository's:
   ``api.*``) must name fields that actually exist on some
   :mod:`repro.config` dataclass — typos otherwise surface only on the
   first simulated access, possibly hours into a sweep.
+- **AGL006** — no calls to scheduler internals (``._schedule``,
+  ``._enqueue``, ``._schedule_resume``, ``._schedule_throw``, ``._step_send``,
+  ``._step_throw``) outside ``sim/engine.py``: model code must go through
+  the narrow scheduler-facing API (``schedule_immediate`` /
+  ``schedule_at`` / ``spawn`` / event triggers) so the engine's dispatch
+  fast path stays the single owner of queue and sequence-number state.
 
 Exit status is 0 when clean, 1 when any violation is found.
 """
@@ -56,6 +62,17 @@ UNSEEDED_NP_FUNCS = {
 }
 
 CONFIG_BASE_NAMES = {"cfg", "config", "api"}
+
+#: Engine-private scheduling entry points (AGL006).  Only sim/engine.py may
+#: touch these; everything else uses the narrow scheduler-facing API.
+SCHEDULER_INTERNALS = {
+    "_schedule",
+    "_enqueue",
+    "_schedule_resume",
+    "_schedule_throw",
+    "_step_send",
+    "_step_throw",
+}
 
 
 @dataclass(frozen=True)
@@ -138,6 +155,10 @@ class _FileLinter:
         #: ``np.random.default_rng(seed)`` pass everywhere.
         self.wallclock_ok = "bench" in parts
         self.random_ok = "bench" in parts or path.name == "rng.py"
+        #: The engine owns its queues; everyone else uses the narrow API.
+        self.scheduler_internals_ok = (
+            path.name == "engine.py" and "sim" in parts
+        )
 
     def add(self, node: ast.AST, code: str, message: str) -> None:
         self.violations.append(
@@ -167,6 +188,17 @@ class _FileLinter:
     # -- rules -----------------------------------------------------------------
 
     def _check_call(self, node: ast.Call, imports_random: bool) -> None:
+        if (
+            not self.scheduler_internals_ok
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in SCHEDULER_INTERNALS
+        ):
+            self.add(
+                node, "AGL006",
+                f"call to scheduler internal .{node.func.attr}() outside "
+                f"sim/engine.py; use schedule_immediate/schedule_at/spawn "
+                f"or trigger an Event",
+            )
         dotted = _dotted(node.func)
         if dotted is None:
             return

@@ -5,6 +5,8 @@ Usage::
     python -m repro.bench list            # available figures/ablations
     python -m repro.bench fig4 fig12      # regenerate specific figures
     python -m repro.bench all             # everything (minutes)
+    python -m repro.bench perf            # scheduler throughput smoke
+    python -m repro.bench perf --min-eps 60000   # fail below the floor
 """
 
 from __future__ import annotations
@@ -15,13 +17,58 @@ import time
 from repro.bench.figures import ALL_ABLATIONS, ALL_FIGURES
 
 
+def perf(argv: list[str]) -> int:
+    """Scheduler-throughput smoke: one Fig. 5 point, report events/sec.
+
+    ``--min-eps N`` turns the report into a regression gate (exit 1 below
+    the floor).  ``--requests N`` / ``--threads N`` scale the workload.
+    """
+    from repro.workloads.io_sweep import run_bandwidth_sweep
+
+    min_eps = 0.0
+    requests = 4096
+    threads = 64
+    it = iter(argv)
+    for arg in it:
+        if arg == "--min-eps":
+            min_eps = float(next(it, "0"))
+        elif arg == "--requests":
+            requests = int(next(it, "4096"))
+        elif arg == "--threads":
+            threads = int(next(it, "64"))
+        else:
+            print(f"perf: unknown option {arg!r}", file=sys.stderr)
+            return 2
+    start = time.perf_counter()
+    point = run_bandwidth_sweep(
+        "read", num_ssds=1, total_requests=requests, num_threads=threads
+    )
+    wall = time.perf_counter() - start
+    eps = point.sim_events / wall if wall > 0 else 0.0
+    print(
+        f"perf: {point.sim_events:,} events in {wall:.2f} s "
+        f"-> {eps:,.0f} events/s "
+        f"({point.total_requests} requests, {point.bandwidth_gbps:.2f} GB/s)"
+    )
+    if min_eps and eps < min_eps:
+        print(
+            f"perf: FAIL - {eps:,.0f} events/s below floor {min_eps:,.0f}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def main(argv: list[str]) -> int:
     registry = {**ALL_FIGURES, **{f"abl_{k}": v for k, v in ALL_ABLATIONS.items()}}
+    if argv and argv[0] == "perf":
+        return perf(argv[1:])
     if not argv or argv[0] in ("-h", "--help", "list"):
         print("available targets:")
         for name in registry:
             print(f"  {name}")
         print("  all")
+        print("  perf [--min-eps N] [--requests N] [--threads N]")
         return 0
     targets = list(registry) if argv == ["all"] else argv
     unknown = [t for t in targets if t not in registry]

@@ -42,6 +42,19 @@ class FigureResult:
     rows: List[List[Any]]
     paper_reference: str = ""
     metrics: Dict[str, float] = field(default_factory=dict)
+    #: Scheduler throughput for the driver that produced this figure:
+    #: total simulator events dispatched and the wall-clock seconds spent
+    #: dispatching them.  Filled in by drivers that time their runs (the
+    #: bench layer owns wall-clock reads); zero means "not measured".
+    sim_events: int = 0
+    wall_seconds: float = 0.0
+
+    @property
+    def events_per_sec(self) -> float:
+        """Simulator events dispatched per wall-clock second (0 if unmeasured)."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.sim_events / self.wall_seconds
 
     def table(self) -> str:
         parts = [f"== {self.figure}: {self.title} =="]
@@ -53,6 +66,11 @@ class FigureResult:
                 f"{k}={v:.3f}" for k, v in sorted(self.metrics.items())
             )
             parts.append(f"measured: {rendered}")
+        if self.sim_events and self.wall_seconds > 0:
+            parts.append(
+                f"throughput: {self.events_per_sec:,.0f} events/s "
+                f"({self.sim_events:,} events in {self.wall_seconds:.2f} s)"
+            )
         return "\n".join(parts)
 
     def show(self) -> "FigureResult":

@@ -25,7 +25,8 @@ The optional host-DRAM victim tier implements the first §5 extension.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from functools import partial
 from typing import Any, Generator, Optional
 
 import numpy as np
@@ -61,6 +62,10 @@ class CacheLine:
     tag: Optional[tuple[int, int]] = None  # (ssd_idx, lba)
     pins: int = 0
     ready_gate: Gate = None  # type: ignore[assignment]
+    #: Precomputed gate name: a fresh Gate is built on every claim (stale
+    #: waiters must keep seeing the old, opened gate), so the name string
+    #: is hoisted out of the per-miss path.
+    gate_name: str = field(default="", repr=False)
 
     @property
     def valid(self) -> bool:
@@ -147,8 +152,9 @@ class SoftwareCache:
                 set_idx=idx // self.ways,
                 way=idx % self.ways,
                 buffer=view,
+                gate_name=f"line{idx}.ready",
             )
-            line.ready_gate = Gate(sim, name=f"line{idx}.ready")
+            line.ready_gate = Gate(sim, name=line.gate_name)
             self.lines.append(line)
         self._tags: dict[tuple[int, int], CacheLine] = {}
         self._set_locks = [
@@ -313,7 +319,7 @@ class SoftwareCache:
                     )
         victim.tag = tag
         self.set_line_state(victim, LineState.BUSY, reason="claim")
-        victim.ready_gate = Gate(self.sim, name=f"line{victim.index}.ready")
+        victim.ready_gate = Gate(self.sim, name=victim.gate_name)
         victim.pins = 0
         self._tags[tag] = victim
         self.stats.add("misses")
@@ -348,15 +354,19 @@ class SoftwareCache:
                 self._finish_fill(line, tag)
                 return
 
-        def on_complete(_c: NvmeCompletion, line=line, tag=tag) -> None:
-            self._finish_fill(line, tag)
-
         txn = yield from self.issue.submit(
             tc, chain, tag[0], Opcode.READ, tag[1], line.buffer, label="fill"
         )
-        txn.on_complete = on_complete
+        # The service invokes on_complete(completion); the line/tag context
+        # rides in the partial instead of a per-fill closure.
+        txn.on_complete = partial(self._finish_fill, line, tag)
 
-    def _finish_fill(self, line: CacheLine, tag: tuple[int, int]) -> None:
+    def _finish_fill(
+        self,
+        line: CacheLine,
+        tag: tuple[int, int],
+        _completion: Optional[NvmeCompletion] = None,
+    ) -> None:
         if line.tag != tag:
             # The line was re-purposed between issue and completion; the
             # stale fill is dropped (its data went to the old buffer view,

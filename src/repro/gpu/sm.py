@@ -37,12 +37,15 @@ class StreamingMultiprocessor:
         self.resident_warps = 0
 
     def compute(self, cycles: float) -> Generator[Any, Any, None]:
-        """One thread executing ``cycles`` of arithmetic on this SM."""
+        """One thread executing ``cycles`` of arithmetic on this SM.
+
+        Returns the fair-share server's generator directly (no delegating
+        frame): SM compute is the single hottest ``yield from`` in the
+        simulator, and one generator per call is one too many.
+        """
         if cycles < 0:
             raise ValueError("cycles must be non-negative")
-        if cycles == 0:
-            return
-        yield from self._issue.process(cycles)
+        return self._issue.process(cycles)
 
     @property
     def active_threads(self) -> int:

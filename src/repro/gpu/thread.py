@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Generator, Hashable, Optional
 
-from repro.gpu.warp import CoalesceSlot, Warp
+from repro.gpu.warp import NOT_PARTICIPATING, CoalesceSlot, Warp
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.gpu.device import Gpu
@@ -50,24 +50,30 @@ class ThreadContext:
         return self.gpu.sim
 
     # -- compute and memory ---------------------------------------------------
+    #
+    # These return the underlying model's generator directly instead of
+    # delegating through a ``yield from`` frame of their own: kernel bodies
+    # call them millions of times per run, and the extra frame per call is
+    # pure dispatch overhead.  ``yield from tc.compute(...)`` is unchanged
+    # for callers.
 
     def compute(self, cycles: float) -> Generator[Any, Any, None]:
         """Execute ``cycles`` of arithmetic (fair-shared on this SM)."""
-        yield from self.sm.compute(cycles)
+        return self.sm.compute(cycles)
 
     def compute_ns(self, ns: float) -> Generator[Any, Any, None]:
         """Convenience: arithmetic expressed in nanoseconds."""
-        yield from self.sm.compute(ns / self.gpu.cfg.cycle_ns)
+        return self.sm.compute(ns / self.gpu.cfg.cycle_ns)
 
     def hbm_load(self, nbytes: int) -> Generator[Any, Any, None]:
-        yield from self.gpu.hbm.load(nbytes)
+        return self.gpu.hbm.load(nbytes)
 
     def hbm_store(self, nbytes: int) -> Generator[Any, Any, None]:
-        yield from self.gpu.hbm.store(nbytes)
+        return self.gpu.hbm.store(nbytes)
 
     def atomic(self) -> Generator[Any, Any, None]:
         """One global-memory atomic operation."""
-        yield from self.gpu.hbm.atomic()
+        return self.gpu.hbm.atomic()
 
     # -- warp primitives ----------------------------------------------------------
 
@@ -75,8 +81,7 @@ class ThreadContext:
         self, key: Hashable
     ) -> Generator[Any, Any, Optional[CoalesceSlot]]:
         """Warp-level request coalescing round (see :class:`Warp`)."""
-        slot = yield from self.warp.coalesce(self.tid, key)
-        return slot
+        return self.warp.coalesce(self.tid, key)
 
     def syncwarp(self) -> Generator[Any, Any, None]:
         """``__syncwarp()``: converge the warp without requesting anything.
@@ -84,9 +89,7 @@ class ThreadContext:
         Loops whose bodies contain memory accesses are warp-synchronous on
         real SIMT hardware whether or not the code coalesces — kernels that
         model lockstep execution call this once per iteration."""
-        from repro.gpu.warp import NOT_PARTICIPATING
-
-        yield from self.warp.coalesce(self.tid, NOT_PARTICIPATING)
+        return self.warp.coalesce(self.tid, NOT_PARTICIPATING)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

@@ -80,7 +80,9 @@ class Doorbell:
             self.log.emit("mmio.ring", src=self, name=self.name, value=value)
         yield Timeout(self.cfg.mmio_write_ns)
         arrival = self.sim.now + self.cfg.latency_ns
-        self.sim.call_at(arrival, lambda v=value: self._deliver(v))
+        # Narrow scheduler API: the in-flight value rides in the dispatch
+        # record's payload, so no closure is allocated per ring.
+        self.sim.schedule_at(arrival, self._deliver, value)
 
     def _deliver(self, value: int) -> None:
         self.device_value = value

@@ -58,6 +58,11 @@ class SsdController:
         self.flash = FlashArray(sim, cfg)
         self.queue_pairs: list[QueuePair] = []
         self._fetcher_active: dict[int, bool] = {}
+        #: Precomputed per-queue process/event names: the controller spawns
+        #: one process per fetched command, so name formatting is hot.
+        self._fetch_names: dict[int, str] = {}
+        self._exec_prefixes: dict[int, str] = {}
+        self._cq_space_names: dict[int, str] = {}
         self.completed_reads = 0
         self.completed_writes = 0
         self.bytes_read = 0
@@ -74,6 +79,9 @@ class SsdController:
             )
         self.queue_pairs.append(qp)
         self._fetcher_active[qp.qid] = False
+        self._fetch_names[qp.qid] = f"{self.cfg.name}.fetch.q{qp.qid}"
+        self._exec_prefixes[qp.qid] = f"{self.cfg.name}.exec.q{qp.qid}.c"
+        self._cq_space_names[qp.qid] = f"cq{qp.qid}.space"
         qp.sq.doorbell.observer = lambda _v, qp=qp: self._on_sq_doorbell(qp)
         qp.cq.doorbell.observer = lambda _v, cq=qp.cq: cq.notify_space()
 
@@ -85,7 +93,7 @@ class SsdController:
         self._fetcher_active[qp.qid] = True
         self.sim.spawn(
             self._fetch_loop(qp),
-            name=f"{self.cfg.name}.fetch.q{qp.qid}",
+            name=self._fetch_names[qp.qid],
             daemon=True,
         )
 
@@ -93,6 +101,7 @@ class SsdController:
     FETCH_BATCH = 16
 
     def _fetch_loop(self, qp: QueuePair) -> Generator[Any, Any, None]:
+        exec_prefix = self._exec_prefixes[qp.qid]
         while qp.sq.device_pending() > 0:
             batch = min(qp.sq.device_pending(), self.FETCH_BATCH)
             yield from self.link.dma_read(SQE_SIZE * batch)
@@ -101,7 +110,7 @@ class SsdController:
                 cmd = qp.sq.device_fetch()
                 self.sim.spawn(
                     self._execute(qp, cmd),
-                    name=f"{self.cfg.name}.exec.q{qp.qid}.c{cmd.cid}",
+                    name=exec_prefix + str(cmd.cid),
                     daemon=True,
                 )
         self._fetcher_active[qp.qid] = False
@@ -167,7 +176,7 @@ class SsdController:
         self, qp: QueuePair, cmd: NvmeCommand, status: Status
     ) -> Generator[Any, Any, None]:
         while not qp.cq.device_try_reserve():
-            ev = self.sim.event(name=f"cq{qp.qid}.space")
+            ev = self.sim.event(name=self._cq_space_names[qp.qid])
             qp.cq.add_space_waiter(ev.trigger)
             yield ev
         yield Timeout(self.cfg.cqe_post_ns)

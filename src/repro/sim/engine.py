@@ -3,19 +3,50 @@
 Times are floats in nanoseconds.  Ties are broken by a monotonically
 increasing sequence number, making runs bit-deterministic.
 
+Scheduling is two-tiered (the dispatch fast path):
+
+- an **immediate FIFO deque** holds every ``delay == 0.0`` schedule — the
+  overwhelmingly common case (process resumes, event wakeups, cooperative
+  re-schedules).  Appending to and popping from a deque is O(1) with no
+  comparison work.
+- a **timeout heap** keyed by ``(time, seq)`` holds only true timeouts and
+  absolute-time callbacks.
+
+Both tiers share one global sequence counter, and the dispatcher always
+pops whichever front has the smaller ``(time, seq)``, so the merged order
+is bit-identical to the classic single-heap formulation: among events at
+the same timestamp, schedule order wins (FIFO).  The immediate queue is
+drained before simulated time may advance.
+
+Dispatch is allocation-free on the fast path: instead of a fresh closure
+per step, each :class:`Process` owns one reusable ``[seq, kind, target,
+payload]`` dispatch record that is mutated in place and appended to the
+queue.  Raw callbacks go through the narrow scheduler-facing API —
+:meth:`Simulator.schedule_immediate` / :meth:`Simulator.schedule_at` —
+which takes ``fn, *args`` so callers never need to build a ``lambda``.
+
 Deadlock handling is first-class because the paper's motivating bug
 (Figure 1) *is* a deadlock: the engine detects both global deadlock (event
-heap empty while non-daemon processes still wait) and stalls (no non-daemon
-process has advanced for ``watchdog_ns`` of simulated time while daemons
-keep the heap warm), and reports which processes are stuck on what.
+queues empty while non-daemon processes still wait) and stalls (no
+non-daemon process has advanced for ``watchdog_ns`` of simulated time
+while daemons keep the queues warm), and reports which processes are
+stuck on what.
 """
 
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from typing import Any, Callable, Generator, Iterable, Optional
 
 SimGenerator = Generator[Any, Any, Any]
+
+#: Dispatch-record kinds.  A record is ``[seq, kind, target, payload]``:
+#: SEND/THROW target a :class:`Process` (resume value / exception in the
+#: payload slot); CALL targets a plain callable with an argument tuple.
+_K_SEND = 0
+_K_THROW = 1
+_K_CALL = 2
 
 
 class SimError(RuntimeError):
@@ -86,9 +117,28 @@ class Event:
             raise SimError(f"event {self.name!r} triggered twice")
         self._triggered = True
         self._value = value
-        waiters, self._waiters = self._waiters, []
-        for proc in waiters:
-            proc._schedule_resume(value)
+        waiters = self._waiters
+        if waiters:
+            # Batched wakeup: enqueue every waiter's dispatch record in one
+            # pass (schedule order == waiter registration order, matching
+            # the historical per-waiter _schedule semantics).
+            sim = self.sim
+            imm = sim._immediate
+            seq = sim._seq
+            for proc in waiters:
+                proc._waiting_on = None
+                seq += 1
+                if proc._rec_queued:
+                    imm.append([seq, _K_SEND, proc, value])
+                else:
+                    rec = proc._record
+                    rec[0] = seq
+                    rec[1] = _K_SEND
+                    rec[3] = value
+                    proc._rec_queued = True
+                    imm.append(rec)
+            sim._seq = seq
+            self._waiters = []
 
     def fail(self, exc: BaseException) -> None:
         if self._triggered:
@@ -131,6 +181,8 @@ class Process:
         "_done_event",
         "value",
         "_waiting_on",
+        "_record",
+        "_rec_queued",
     )
 
     def __init__(
@@ -148,22 +200,44 @@ class Process:
         self.value: Any = None
         self._done_event = Event(sim, name=f"{name}.done")
         self._waiting_on: Any = None
+        #: Reusable dispatch record.  A process has at most one pending
+        #: resume at a time, so the same list is mutated and re-enqueued
+        #: for every step; ``_rec_queued`` guards the rare overlap.
+        self._record: list = [0, _K_SEND, self, None]
+        self._rec_queued = False
 
     # -- engine plumbing ---------------------------------------------------
 
+    def _enqueue(self, kind: int, payload: Any, delay: float = 0.0) -> None:
+        """Queue this process's next step (record reuse fast path)."""
+        sim = self.sim
+        sim._seq += 1
+        if self._rec_queued:
+            rec = [sim._seq, kind, self, payload]
+        else:
+            rec = self._record
+            rec[0] = sim._seq
+            rec[1] = kind
+            rec[3] = payload
+            self._rec_queued = True
+        if delay == 0.0:
+            sim._immediate.append(rec)
+        else:
+            heapq.heappush(sim._heap, (sim.now + delay, rec[0], rec))
+
     def _schedule_resume(self, value: Any) -> None:
         self._waiting_on = None
-        self.sim._schedule(0.0, lambda: self._step_send(value))
+        self._enqueue(_K_SEND, value)
 
     def _schedule_throw(self, exc: BaseException) -> None:
         self._waiting_on = None
-        self.sim._schedule(0.0, lambda: self._step_throw(exc))
+        self._enqueue(_K_THROW, exc)
 
     def _step_send(self, value: Any) -> None:
         if not self.alive:
             return
         if not self.daemon:
-            self.sim._note_progress()
+            self.sim._last_progress = self.sim.now
         try:
             item = self._gen.send(value)
         except StopIteration as stop:
@@ -172,13 +246,23 @@ class Process:
         except BaseException as exc:
             self._finish_error(exc)
             return
-        self._dispatch(item)
+        # The two overwhelmingly common yields — Timeout and a pending
+        # Event — are handled inline; everything else falls through to
+        # _dispatch.  Same behaviour, one less call per step.
+        if type(item) is Timeout:
+            self._waiting_on = item
+            self._enqueue(_K_SEND, item.value, item.delay)
+        elif isinstance(item, Event) and not item._triggered:
+            item._waiters.append(self)
+            self._waiting_on = item
+        else:
+            self._dispatch(item)
 
     def _step_throw(self, exc: BaseException) -> None:
         if not self.alive:
             return
         if not self.daemon:
-            self.sim._note_progress()
+            self.sim._last_progress = self.sim.now
         try:
             item = self._gen.throw(exc)
         except StopIteration as stop:
@@ -187,19 +271,28 @@ class Process:
         except BaseException as err:
             self._finish_error(err)
             return
-        self._dispatch(item)
+        if type(item) is Timeout:
+            self._waiting_on = item
+            self._enqueue(_K_SEND, item.value, item.delay)
+        elif isinstance(item, Event) and not item._triggered:
+            item._waiters.append(self)
+            self._waiting_on = item
+        else:
+            self._dispatch(item)
 
     def _dispatch(self, item: Any) -> None:
-        sim = self.sim
         if item is None:
-            sim._schedule(0.0, lambda: self._step_send(None))
+            self._enqueue(_K_SEND, None)
         elif type(item) is Timeout:
             self._waiting_on = item
-            sim._schedule(item.delay, lambda: self._step_send(item.value))
+            self._enqueue(_K_SEND, item.value, item.delay)
         elif isinstance(item, Event):
             item._add_waiter(self)
         elif isinstance(item, Process):
             item._done_event._add_waiter(self)
+            if self._waiting_on is not None:
+                # Still blocked: report the join target, not its done-event.
+                self._waiting_on = item
         else:
             exc = SimError(
                 f"process {self.name!r} yielded unsupported object {item!r}"
@@ -247,6 +340,8 @@ class Process:
             return f"event {target.name!r}"
         if isinstance(target, Timeout):
             return f"timeout {target.delay} ns"
+        if isinstance(target, Process):
+            return f"joining process '{target.name}'"
         return repr(target)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
@@ -267,7 +362,10 @@ class Simulator:
 
     def __init__(self, watchdog_ns: float = 0.0):
         self.now: float = 0.0
-        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        #: FIFO of dispatch records scheduled at the current time.
+        self._immediate: deque[list] = deque()
+        #: True timeouts only: ``(time, seq, record)``.
+        self._heap: list[tuple[float, int, list]] = []
         self._seq = 0
         self._alive_nondaemon = 0
         self._alive: set[Process] = set()
@@ -276,31 +374,48 @@ class Simulator:
         #: stall.  0 disables the watchdog.
         self.watchdog_ns = watchdog_ns
         self._crashed: Optional[tuple[BaseException, Process]] = None
+        #: Lifetime total of dispatched events (across all run() calls).
         self.event_count = 0
         self._raw_pending = 0
+        #: Alive targets of the current bounded run() call, maintained by
+        #: _proc_finished so the hot loop never rescans the target list.
+        self._run_targets: Optional[set[Process]] = None
 
     # -- scheduling ----------------------------------------------------------
 
-    def _schedule(self, delay: float, fn: Callable[[], None]) -> None:
+    def schedule_immediate(self, fn: Callable[..., None], *args: Any) -> None:
+        """Schedule ``fn(*args)`` at the current simulated time, after every
+        already-queued same-time event (FIFO).
+
+        This is the scheduler-facing API for model code: no closure needed —
+        pass the callable and its arguments.  Raw callbacks count as pending
+        work: ``run()`` will not declare the simulation finished while any
+        are outstanding.
+        """
+        self._raw_pending += 1
         self._seq += 1
-        heapq.heappush(self._heap, (self.now + delay, self._seq, fn))
+        self._immediate.append([self._seq, _K_CALL, fn, args])
 
-    def call_at(self, when: float, fn: Callable[[], None]) -> None:
-        """Schedule a raw callback at absolute simulated time ``when``.
+    def schedule_at(
+        self, when: float, fn: Callable[..., None], *args: Any
+    ) -> None:
+        """Schedule ``fn(*args)`` at absolute simulated time ``when``.
 
-        Raw callbacks count as pending work: ``run()`` will not declare the
-        simulation finished while any are outstanding (e.g. an in-flight
-        doorbell value that has not yet reached the SSD).
+        Like :meth:`schedule_immediate`, raw callbacks count as pending work
+        (e.g. an in-flight doorbell value that has not yet reached the SSD).
         """
         if when < self.now:
             raise ValueError(f"cannot schedule in the past: {when} < {self.now}")
         self._raw_pending += 1
+        self._seq += 1
+        if when == self.now:
+            self._immediate.append([self._seq, _K_CALL, fn, args])
+        else:
+            heapq.heappush(self._heap, (when, self._seq, [self._seq, _K_CALL, fn, args]))
 
-        def wrapped() -> None:
-            self._raw_pending -= 1
-            fn()
-
-        self._schedule(when - self.now, wrapped)
+    def call_at(self, when: float, fn: Callable[[], None]) -> None:
+        """Back-compat alias for :meth:`schedule_at` without arguments."""
+        self.schedule_at(when, fn)
 
     def _note_progress(self) -> None:
         self._last_progress = self.now
@@ -313,6 +428,8 @@ class Simulator:
         self._alive.discard(proc)
         if not proc.daemon:
             self._alive_nondaemon -= 1
+        if self._run_targets is not None:
+            self._run_targets.discard(proc)
 
     # -- process management ---------------------------------------------------
 
@@ -324,7 +441,7 @@ class Simulator:
         self._alive.add(proc)
         if not daemon:
             self._alive_nondaemon += 1
-        self._schedule(0.0, lambda: proc._step_send(None))
+        proc._enqueue(_K_SEND, None)
         return proc
 
     def event(self, name: str = "") -> Event:
@@ -345,51 +462,104 @@ class Simulator:
 
         Stops when: all non-daemon processes finish; simulated time reaches
         ``until``; all of ``until_procs`` complete; or ``max_events`` events
-        have been processed.  Raises :class:`SimDeadlockError` if the heap
-        drains while non-daemon processes still wait, and
+        have been processed *by this call* (``event_count`` stays the
+        lifetime total).  Raises :class:`SimDeadlockError` if the queues
+        drain while non-daemon processes still wait, and
         :class:`SimStallError` if the watchdog fires.
         """
-        targets = list(until_procs) if until_procs is not None else None
+        targets: Optional[set[Process]] = None
+        if until_procs is not None:
+            targets = {p for p in until_procs if p.alive}
+        self._run_targets = targets
+        try:
+            self._run(until, targets, max_events)
+        finally:
+            self._run_targets = None
+
+    def _run(
+        self,
+        until: Optional[float],
+        targets: Optional[set[Process]],
+        max_events: Optional[int],
+    ) -> None:
+        imm = self._immediate
         heap = self._heap
-        while heap:
+        heappop = heapq.heappop
+        watchdog = self.watchdog_ns
+        processed = 0
+        now = self.now
+        while imm or heap:
             if self._crashed is not None:
                 exc, proc = self._crashed
                 self._crashed = None
                 raise SimError(
                     f"process {proc.name!r} died with an unhandled error"
                 ) from exc
-            if targets is not None and all(not p.alive for p in targets):
+            if targets is not None:
+                if not targets:
+                    return
+            elif self._alive_nondaemon == 0 and self._raw_pending == 0:
                 return
-            if (
-                targets is None
-                and self._alive_nondaemon == 0
-                and self._raw_pending == 0
-            ):
-                return
-            when, _, fn = heapq.heappop(heap)
+            # Pop whichever front has the smaller (time, seq).  Immediate
+            # records carry the current timestamp, so only a heap entry that
+            # already expired (time == now) with an older seq can precede
+            # them; the immediate tier is always drained before time moves.
+            from_heap = True
+            if imm:
+                rec = imm[0]
+                if heap and heap[0][0] <= now and heap[0][1] < rec[0]:
+                    when, _, rec = heappop(heap)
+                else:
+                    imm.popleft()
+                    when = now
+                    from_heap = False
+            else:
+                when, _, rec = heappop(heap)
             if until is not None and when > until:
                 # Put it back; we stop exactly at the horizon.
-                heapq.heappush(heap, (when, _, fn))
+                if from_heap:
+                    heapq.heappush(heap, (when, rec[0], rec))
+                else:
+                    imm.appendleft(rec)
                 self.now = until
                 return
-            self.now = when
+            self.now = now = when
             if (
-                self.watchdog_ns > 0
+                watchdog > 0
                 and self._alive_nondaemon > 0
-                and self.now - self._last_progress > self.watchdog_ns
+                and when - self._last_progress > watchdog
             ):
                 raise SimStallError(self._stall_report())
-            fn()
+            kind = rec[1]
+            if kind == _K_SEND:
+                target = rec[2]
+                payload = rec[3]
+                if rec is target._record:
+                    target._rec_queued = False
+                    rec[3] = None
+                target._step_send(payload)
+            elif kind == _K_CALL:
+                self._raw_pending -= 1
+                rec[2](*rec[3])
+            else:
+                target = rec[2]
+                payload = rec[3]
+                if rec is target._record:
+                    target._rec_queued = False
+                    rec[3] = None
+                target._step_throw(payload)
             self.event_count += 1
-            if max_events is not None and self.event_count >= max_events:
-                return
+            if max_events is not None:
+                processed += 1
+                if processed >= max_events:
+                    return
         if self._crashed is not None:
             exc, proc = self._crashed
             self._crashed = None
             raise SimError(
                 f"process {proc.name!r} died with an unhandled error"
             ) from exc
-        if targets is not None and any(p.alive for p in targets):
+        if targets:
             raise SimDeadlockError(self._stall_report())
         if self._alive_nondaemon > 0:
             raise SimDeadlockError(self._stall_report())

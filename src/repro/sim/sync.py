@@ -15,13 +15,15 @@ class SimLock:
     needs in order to build the waits-for graph.
     """
 
-    __slots__ = ("sim", "name", "owner", "_waiters")
+    __slots__ = ("sim", "name", "owner", "_waiters", "_ev_name")
 
     def __init__(self, sim: Simulator, name: str = "lock"):
         self.sim = sim
         self.name = name
         self.owner: Optional[Hashable] = None
         self._waiters: list[tuple[Hashable, Event]] = []
+        # Precomputed once: contended acquires are hot, names are debug-only.
+        self._ev_name = f"{name}.acquire"
 
     @property
     def locked(self) -> bool:
@@ -38,7 +40,7 @@ class SimLock:
             return
         if self.owner == who:
             raise SimError(f"{who!r} re-acquired non-reentrant lock {self.name!r}")
-        ev = self.sim.event(name=f"{self.name}.acquire")
+        ev = Event(self.sim, name=self._ev_name)
         self._waiters.append((who, ev))
         yield ev
 
@@ -71,13 +73,14 @@ class Gate:
     barriers that are polled repeatedly.
     """
 
-    __slots__ = ("sim", "name", "_open", "_waiters")
+    __slots__ = ("sim", "name", "_open", "_waiters", "_ev_name")
 
     def __init__(self, sim: Simulator, is_open: bool = False, name: str = "gate"):
         self.sim = sim
         self.name = name
         self._open = is_open
         self._waiters: list[Event] = []
+        self._ev_name = f"{name}.wait"
 
     @property
     def is_open(self) -> bool:
@@ -96,7 +99,7 @@ class Gate:
     def wait(self) -> Generator[Any, Any, None]:
         if self._open:
             return
-        ev = self.sim.event(name=f"{self.name}.wait")
+        ev = Event(self.sim, name=self._ev_name)
         self._waiters.append(ev)
         yield ev
 

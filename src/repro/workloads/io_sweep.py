@@ -26,6 +26,11 @@ class SweepPoint:
     total_requests: int
     duration_ns: float
     bytes_moved: int
+    #: Simulator events dispatched for this point (scheduler work, not
+    #: simulated time).  Wall-clock throughput is measured by the bench
+    #: layer, which owns real-time reads (AGL001); workloads only report
+    #: the simulated-event count.
+    sim_events: int = 0
 
     @property
     def bandwidth_gbps(self) -> float:
@@ -110,6 +115,7 @@ def run_bandwidth_sweep(
         total_requests=threads * requests_per_thread,
         duration_ns=duration,
         bytes_moved=moved,
+        sim_events=host.sim.event_count,
     )
 
 

@@ -138,6 +138,36 @@ class TestConfigAttrs:
         assert run_lint(tmp_path, src) == []
 
 
+class TestSchedulerInternals:
+    def test_direct_schedule_call_fires(self, tmp_path):
+        v = run_lint(tmp_path, "def f(sim, fn):\n    sim._schedule(0.0, fn)\n")
+        assert codes(v) == ["AGL006"]
+        assert "schedule_immediate" in v[0].message
+
+    def test_enqueue_and_step_calls_fire(self, tmp_path):
+        src = (
+            "def f(proc):\n"
+            "    proc._enqueue(0, None)\n"
+            "    proc._step_send(None)\n"
+        )
+        assert codes(run_lint(tmp_path, src)) == ["AGL006", "AGL006"]
+
+    def test_narrow_api_is_fine(self, tmp_path):
+        src = (
+            "def f(sim, fn):\n"
+            "    sim.schedule_immediate(fn)\n"
+            "    sim.schedule_at(5.0, fn, 1)\n"
+        )
+        assert run_lint(tmp_path, src) == []
+
+    def test_sim_engine_itself_is_exempt(self, tmp_path):
+        simdir = tmp_path / "sim"
+        simdir.mkdir()
+        f = simdir / "engine.py"
+        f.write_text("def f(proc):\n    proc._enqueue(0, None)\n")
+        assert lint_paths([str(f)]) == []
+
+
 class TestCli:
     def test_main_exit_codes(self, tmp_path, capsys):
         dirty = tmp_path / "dirty.py"

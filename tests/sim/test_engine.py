@@ -303,3 +303,84 @@ def test_nested_generators_via_yield_from(sim):
     sim.spawn(outer())
     sim.run()
     assert log == ["inner", ("outer", 99)]
+
+
+def test_max_events_counts_relative_to_each_run_call(sim):
+    """``run(max_events=n)`` processes n events *per call* while
+    ``event_count`` stays the lifetime total across calls."""
+
+    def ticker():
+        while True:
+            yield Timeout(1)
+
+    sim.spawn(ticker(), name="tick")
+    sim.run(max_events=5)
+    assert sim.event_count == 5
+    sim.run(max_events=5)
+    # A lifetime-total interpretation would stop immediately here.
+    assert sim.event_count == 10
+    sim.run(max_events=3)
+    assert sim.event_count == 13
+
+
+def test_waiting_description_reports_join_target(sim):
+    def sleeper():
+        yield Timeout(100)
+
+    def joiner(target):
+        yield target
+
+    target = sim.spawn(sleeper(), name="sleeper")
+    waiter = sim.spawn(joiner(target), name="joiner")
+    sim.run(until=10)
+    assert waiter.waiting_description() == "joining process 'sleeper'"
+    assert "timeout" in target.waiting_description()
+    sim.run()
+    assert waiter.waiting_description() == "runnable"
+
+
+def test_schedule_immediate_runs_after_queued_same_time_events(sim):
+    log = []
+
+    def proc():
+        log.append("proc")
+        yield Timeout(1)
+
+    sim.spawn(proc(), name="p")
+    sim.schedule_immediate(log.append, "cb1")
+    sim.schedule_immediate(log.append, "cb2")
+    sim.run()
+    # FIFO among same-timestamp work: spawn was queued first.
+    assert log == ["proc", "cb1", "cb2"]
+
+
+def test_schedule_at_fires_at_absolute_time(sim):
+    seen = []
+
+    def stamp(tag):
+        seen.append((sim.now, tag))
+
+    sim.schedule_at(5.0, stamp, "later")
+    sim.schedule_at(0.0, stamp, "now")
+    sim.run()
+    assert seen == [(0.0, "now"), (5.0, "later")]
+    assert sim.now == 5.0
+
+
+def test_schedule_at_counts_as_pending_work(sim):
+    """The run loop must not declare completion while a raw callback is
+    still in flight (e.g. a doorbell value crossing the PCIe link)."""
+    fired = []
+    sim.schedule_at(7.0, fired.append, "x")
+    sim.run()
+    assert fired == ["x"]
+
+
+def test_schedule_api_rejects_past(sim):
+    def proc():
+        yield Timeout(10)
+        with pytest.raises(ValueError):
+            sim.schedule_at(5.0, lambda: None)
+
+    sim.spawn(proc())
+    sim.run()
