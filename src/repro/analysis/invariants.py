@@ -230,13 +230,23 @@ LEGAL_LINE_TRANSITIONS: Set[Tuple[LineState, LineState]] = {
     (LineState.MODIFIED, LineState.BUSY),   # dirty eviction + re-claim
 }
 
+#: Transitions legal only on the fault-recovery path, keyed by the reasons
+#: that justify them.  ``BUSY -> INVALID`` normally means dropping an
+#: in-flight fill; with reason ``fill_error`` it is the *required* recovery
+#: action for a fill whose NVMe command completed with an error status
+#: (the line must not stick in BUSY).
+FAILURE_LINE_TRANSITIONS: Dict[Tuple[LineState, LineState], Set[str]] = {
+    (LineState.BUSY, LineState.INVALID): {"fill_error"},
+}
+
 
 class CacheStateChecker(InvariantChecker):
     """Cache line FSM legality: only §3.4 transitions may occur.
 
     Notably illegal: ``BUSY -> MODIFIED`` (writing a line whose fill is in
-    flight), ``BUSY -> INVALID`` (dropping an in-flight fill), and
-    ``INVALID -> MODIFIED`` (dirtying a line that holds no data).
+    flight), ``BUSY -> INVALID`` (dropping an in-flight fill) unless the
+    fill *failed* (reason ``fill_error``), and ``INVALID -> MODIFIED``
+    (dirtying a line that holds no data).
     """
 
     PREFIX = "cache.state"
@@ -248,13 +258,17 @@ class CacheStateChecker(InvariantChecker):
     def check(self, event: TraceEvent) -> None:
         old, new = event["old"], event["new"]
         self.transitions += 1
-        if (old, new) not in LEGAL_LINE_TRANSITIONS:
-            self.fail(
-                event,
-                f"illegal cache-line transition {old.name} -> {new.name} "
-                f"on line {event['line']} (tag {event['tag']}, "
-                f"reason {event.get('reason', '')!r})",
-            )
+        if (old, new) in LEGAL_LINE_TRANSITIONS:
+            return
+        allowed_reasons = FAILURE_LINE_TRANSITIONS.get((old, new))
+        if allowed_reasons and event.get("reason") in allowed_reasons:
+            return
+        self.fail(
+            event,
+            f"illegal cache-line transition {old.name} -> {new.name} "
+            f"on line {event['line']} (tag {event['tag']}, "
+            f"reason {event.get('reason', '')!r})",
+        )
 
 
 #: Legal Share Table transitions (paper §3.4.1 MOESI reinterpretation).

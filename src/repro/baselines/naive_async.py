@@ -25,7 +25,7 @@ from repro.core.locks import AgileLock, AgileLockChain, LockDebugger
 from repro.gpu.thread import ThreadContext
 from repro.nvme.command import SQE_SIZE, NvmeCommand, Opcode
 from repro.nvme.queue import QueuePair, SlotState
-from repro.sim.engine import SimError, Simulator, Timeout
+from repro.sim.engine import SimError, SimStallError, Simulator, Timeout
 
 
 @dataclass
@@ -122,10 +122,19 @@ class NaiveAsyncEngine:
         tc: ThreadContext,
         chain: AgileLockChain,
         tokens: List[NaiveToken],
+        stall_after_ns: Optional[float] = None,
     ) -> Generator[Any, Any, None]:
         """Figure 1, line 5+: poll the CQ for this thread's completions and
-        release its SQE locks."""
+        release its SQE locks.
+
+        The busy-poll loop makes scheduler-level watchdogs blind to a lost
+        completion — the process steps forever, so the engine sees
+        "progress".  ``stall_after_ns`` bounds that: once no completion has
+        arrived for that long, a :class:`SimStallError` is raised whose
+        report names every stalled CID and the SQE lock its chain still
+        holds (the §3.5 lock-chain diagnosis of a dropped CQE)."""
         pending = {(t.qp.qid, t.cid): t for t in tokens}
+        stalled_ns = 0.0
         while pending:
             progressed = False
             for qp in {t.qp for t in tokens}:
@@ -142,5 +151,37 @@ class NaiveAsyncEngine:
                     progressed = True
                 # Completions belonging to other threads are dropped on the
                 # floor here — another naive-design defect we keep faithful.
-            if not progressed:
+            if progressed:
+                stalled_ns = 0.0
+            else:
+                if (
+                    stall_after_ns is not None
+                    and stalled_ns >= stall_after_ns
+                ):
+                    raise SimStallError(
+                        self._stall_report(chain, pending, stalled_ns)
+                    )
                 yield Timeout(200.0)
+                stalled_ns += 200.0
+
+    def _stall_report(
+        self,
+        chain: AgileLockChain,
+        pending: Dict[tuple[int, int], NaiveToken],
+        stalled_ns: float,
+    ) -> str:
+        """Name the stalled CID(s) and the locks the chain still holds."""
+        lines = [
+            f"naive-async wait stalled for {stalled_ns:.0f} ns: chain "
+            f"{chain.name!r} saw no completion for {len(pending)} "
+            f"outstanding command(s)",
+        ]
+        for (qid, cid), token in sorted(pending.items()):
+            lines.append(
+                f"  stalled CID {cid} on SQ{qid} (slot {token.slot}); "
+                f"its completion never arrived and lock {token.lock.name} "
+                f"is still held"
+            )
+        held = ", ".join(l.name for l in chain.held) or "none"
+        lines.append(f"  locks held by {chain.name!r}: {held}")
+        return "\n".join(lines)

@@ -7,10 +7,13 @@ Usage::
     python -m repro.bench all             # everything (minutes)
     python -m repro.bench perf            # scheduler throughput smoke
     python -m repro.bench perf --min-eps 60000   # fail below the floor
+    python -m repro.bench export --out BENCH.json   # CI trend artifact
 """
 
 from __future__ import annotations
 
+import json
+import platform
 import sys
 import time
 
@@ -59,16 +62,95 @@ def perf(argv: list[str]) -> int:
     return 0
 
 
+def export(argv: list[str]) -> int:
+    """Machine-readable bench snapshot for the CI trend artifact.
+
+    Writes one JSON document holding a Fig. 5-style read-bandwidth table,
+    the scheduler-throughput (events/sec) measurement, and per-point device
+    error counts (zero on every fault-free run — a nonzero value here is a
+    regression even when bandwidth looks fine).
+    """
+    from repro.workloads.io_sweep import run_bandwidth_sweep
+
+    out = "BENCH.json"
+    quick = False
+    it = iter(argv)
+    for arg in it:
+        if arg == "--out":
+            out = next(it, out)
+        elif arg == "--quick":
+            quick = True
+        else:
+            print(f"export: unknown option {arg!r}", file=sys.stderr)
+            return 2
+    if quick:
+        table_points = [(1, 512), (2, 512)]
+        perf_requests = 1024
+    else:
+        table_points = [(1, 1024), (1, 4096), (2, 4096), (4, 4096)]
+        perf_requests = 4096
+
+    table = []
+    for num_ssds, total_requests in table_points:
+        point = run_bandwidth_sweep(
+            "read", num_ssds=num_ssds, total_requests=total_requests
+        )
+        table.append(
+            {
+                "op": "read",
+                "num_ssds": point.num_ssds,
+                "total_requests": point.total_requests,
+                "duration_ns": point.duration_ns,
+                "bandwidth_gbps": point.bandwidth_gbps,
+                "sim_events": point.sim_events,
+                "device_errors": point.device_errors,
+            }
+        )
+
+    start = time.perf_counter()
+    point = run_bandwidth_sweep(
+        "read", num_ssds=1, total_requests=perf_requests, num_threads=64
+    )
+    wall = time.perf_counter() - start
+    doc = {
+        "schema": "agile-bench-trend/1",
+        "generated_unix": time.time(),
+        "python": platform.python_version(),
+        "quick": quick,
+        "fig5_read_bandwidth": table,
+        "perf": {
+            "sim_events": point.sim_events,
+            "wall_s": wall,
+            "events_per_sec": point.sim_events / wall if wall > 0 else 0.0,
+            "total_requests": point.total_requests,
+            "bandwidth_gbps": point.bandwidth_gbps,
+            "device_errors": point.device_errors,
+        },
+    }
+    with open(out, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(
+        f"export: wrote {out} ({len(table)} table points, "
+        f"{doc['perf']['events_per_sec']:,.0f} events/s, "
+        f"{sum(r['device_errors'] for r in table)} device errors)"
+    )
+    return 0
+
+
 def main(argv: list[str]) -> int:
     registry = {**ALL_FIGURES, **{f"abl_{k}": v for k, v in ALL_ABLATIONS.items()}}
     if argv and argv[0] == "perf":
         return perf(argv[1:])
+    if argv and argv[0] == "export":
+        return export(argv[1:])
     if not argv or argv[0] in ("-h", "--help", "list"):
         print("available targets:")
         for name in registry:
             print(f"  {name}")
         print("  all")
         print("  perf [--min-eps N] [--requests N] [--threads N]")
+        print("  export [--out FILE] [--quick]")
         return 0
     targets = list(registry) if argv == ["all"] else argv
     unknown = [t for t in targets if t not in registry]

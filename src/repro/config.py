@@ -209,6 +209,83 @@ class ApiCostConfig:
 
 
 @dataclass(frozen=True)
+class FaultConfig:
+    """Deterministic fault-injection plan (``repro.faults``).
+
+    All rates are per-decision probabilities drawn from named
+    :class:`~repro.sim.rng.RngStreams` streams, so a (seed, plan) pair is
+    bit-reproducible and adding a new fault class never perturbs existing
+    ones.  Faults only fire inside ``[window_start_ns, window_end_ns)``.
+    The ``*_fail_first`` knobs are count-based (first N operations fail
+    unconditionally) for timing-independent targeted tests.
+    """
+
+    #: Probability a flash page read returns an unrecovered media error.
+    flash_read_error_rate: float = 0.0
+    #: Probability a flash page program reports a write fault.
+    flash_write_error_rate: float = 0.0
+    #: Probability a flash operation is a latency outlier.
+    flash_latency_outlier_rate: float = 0.0
+    #: Service-time multiplier for latency outliers (tail events).
+    flash_latency_outlier_mult: float = 25.0
+    #: Probability a completion is silently lost (never posted).
+    cqe_drop_rate: float = 0.0
+    #: Probability a completion is posted twice.
+    cqe_duplicate_rate: float = 0.0
+    #: Probability one DMA transfer hits a transient link stall.
+    pcie_stall_rate: float = 0.0
+    #: Duration of one transient PCIe stall (ns).
+    pcie_stall_ns: float = 120_000.0
+    #: Fault window start (simulated ns).
+    window_start_ns: float = 0.0
+    #: Fault window end (simulated ns; ``inf`` = whole run).
+    window_end_ns: float = float("inf")
+    #: Deterministic: the first N flash page reads fail (then rates apply).
+    flash_read_fail_first: int = 0
+    #: Deterministic: the first N completions are dropped (then rates apply).
+    cqe_drop_first: int = 0
+
+    @property
+    def active(self) -> bool:
+        """Whether any fault source is armed (hooks are skipped if not)."""
+        return (
+            self.flash_read_error_rate > 0.0
+            or self.flash_write_error_rate > 0.0
+            or self.flash_latency_outlier_rate > 0.0
+            or self.cqe_drop_rate > 0.0
+            or self.cqe_duplicate_rate > 0.0
+            or self.pcie_stall_rate > 0.0
+            or self.flash_read_fail_first > 0
+            or self.cqe_drop_first > 0
+        )
+
+
+@dataclass(frozen=True)
+class RecoveryConfig:
+    """Driver/service recovery policy: timeout, retry, circuit breaker.
+
+    Armed automatically whenever the fault plan is active; ``enabled``
+    forces the recovery daemon on for fault-free runs too (it then only
+    costs one periodic scan).
+    """
+
+    enabled: bool = False
+    #: Per-command completion deadline before abort-and-resubmit (ns).
+    command_timeout_ns: float = 2_000_000.0
+    #: Recovery daemon scan period (ns).
+    scan_interval_ns: float = 250_000.0
+    #: Resubmissions per command before it is failed with ABORTED status.
+    max_retries: int = 4
+    #: Initial retry back-off (ns); doubles per attempt.
+    retry_backoff_ns: float = 20_000.0
+    #: Multiplier applied to the back-off per retry (exponential).
+    retry_backoff_mult: float = 2.0
+    #: Consecutive failures (timeouts or error CQEs) that open a device's
+    #: circuit breaker; pending and future I/O then fails fast.
+    breaker_threshold: int = 12
+
+
+@dataclass(frozen=True)
 class SystemConfig:
     """Top-level bundle describing one simulated machine."""
 
@@ -219,6 +296,8 @@ class SystemConfig:
     cache: CacheConfig = field(default_factory=CacheConfig)
     service: ServiceConfig = field(default_factory=ServiceConfig)
     api: ApiCostConfig = field(default_factory=ApiCostConfig)
+    faults: FaultConfig = field(default_factory=FaultConfig)
+    recovery: RecoveryConfig = field(default_factory=RecoveryConfig)
     #: I/O queue pairs per SSD.
     queue_pairs: int = 8
     #: Entries per submission queue.
@@ -257,6 +336,26 @@ class SystemConfig:
             )
         if self.cache.num_lines < 1:
             raise ValueError("cache must have at least one line")
+        for name in (
+            "flash_read_error_rate", "flash_write_error_rate",
+            "flash_latency_outlier_rate", "cqe_drop_rate",
+            "cqe_duplicate_rate", "pcie_stall_rate",
+        ):
+            rate = getattr(self.faults, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"faults.{name} must be in [0, 1], got {rate}")
+        if self.faults.flash_latency_outlier_mult < 1.0:
+            raise ValueError("faults.flash_latency_outlier_mult must be >= 1")
+        if self.faults.window_end_ns < self.faults.window_start_ns:
+            raise ValueError("faults window ends before it starts")
+        if self.recovery.command_timeout_ns <= 0:
+            raise ValueError("recovery.command_timeout_ns must be positive")
+        if self.recovery.scan_interval_ns <= 0:
+            raise ValueError("recovery.scan_interval_ns must be positive")
+        if self.recovery.max_retries < 0:
+            raise ValueError("recovery.max_retries must be non-negative")
+        if self.recovery.breaker_threshold < 1:
+            raise ValueError("recovery.breaker_threshold must be >= 1")
 
 
 def default_config(**overrides: object) -> SystemConfig:

@@ -71,7 +71,7 @@ class AgileBuf:
     ``wait()`` mirrors the paper's ``buf.wait()``.
     """
 
-    __slots__ = ("sim", "view", "ready", "source", "label")
+    __slots__ = ("sim", "view", "ready", "source", "label", "failed")
 
     def __init__(self, sim: Simulator, view: np.ndarray, label: str = "buf"):
         self.sim = sim
@@ -80,16 +80,32 @@ class AgileBuf:
         self.ready = Gate(sim, is_open=True, name=f"{label}.ready")
         #: (ssd_index, lba) the buffer currently mirrors, if any.
         self.source: Optional[tuple[int, int]] = None
+        #: True when the most recent fill ended in an I/O error; ``wait``
+        #: still returns (completion-or-clean-failure, never a hang) and
+        #: consumers check :attr:`ok` before trusting ``view``.
+        self.failed = False
 
     @property
     def size(self) -> int:
         return int(self.view.size)
 
+    @property
+    def ok(self) -> bool:
+        return not self.failed
+
     def begin_fill(self, source: tuple[int, int]) -> None:
         self.ready.close()
         self.source = source
+        self.failed = False
 
     def finish_fill(self) -> None:
+        self.ready.open()
+
+    def fail_fill(self) -> None:
+        """The fill's NVMe command completed with an error status: mark the
+        buffer failed, then open the gate so waiters (owner and every Share
+        Table sharer — they hold this same object) observe the failure."""
+        self.failed = True
         self.ready.open()
 
     def wait(self) -> Generator[Any, Any, None]:

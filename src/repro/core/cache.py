@@ -32,7 +32,7 @@ from typing import Any, Generator, Optional
 import numpy as np
 
 from repro.config import ApiCostConfig, CacheConfig
-from repro.core.issue import IssueEngine
+from repro.core.issue import AgileIoError, IssueEngine
 from repro.core.locks import AgileLock, AgileLockChain, LockDebugger
 from repro.core.policies import CachePolicy
 from repro.gpu.thread import ThreadContext
@@ -118,6 +118,8 @@ class SoftwareCache:
     NO_VICTIM_BACKOFF_NS = 500.0
     #: Cap for the exponential victim-stall back-off (ns).
     MAX_BACKOFF_NS = 16_000.0
+    #: Failed-fill re-attempts per access before raising ``AgileIoError``.
+    FILL_FAILURE_LIMIT = 4
 
     def __init__(
         self,
@@ -217,6 +219,7 @@ class SoftwareCache:
         set_idx = self.set_of(ssd_idx, lba)
         lock = self._set_locks[set_idx]
         backoff = self.NO_VICTIM_BACKOFF_NS
+        fill_failures = 0
         while True:
             yield from lock.acquire(chain)
             # The tag probe and line-state atomic form the critical section
@@ -266,11 +269,31 @@ class SoftwareCache:
                 if lock.owner is chain:
                     lock.release(chain)
             if is_fill_owner:
-                yield from self._start_fill(tc, chain, line, tag, writeback)
+                try:
+                    yield from self._start_fill(tc, chain, line, tag, writeback)
+                except AgileIoError:
+                    # The fill could not even be issued (dead device): free
+                    # the claim so waiters retry or fail, then surface it.
+                    self._abort_fill(line, tag)
+                    raise
             if not line.valid:
                 if not wait:
                     return line
-                yield from line.ready_gate.wait()
+                gate = line.ready_gate
+                yield from gate.wait()
+                if not (line.valid and line.ready_gate is gate):
+                    # The fill failed: ``_finish_fill`` recycled the line to
+                    # INVALID and wiped every pin (ours included — do NOT
+                    # unpin), or another thread has already re-claimed it
+                    # (fresh gate).  Retry the whole access, bounded.
+                    fill_failures += 1
+                    self.stats.add("fill_failures_observed")
+                    if fill_failures >= self.FILL_FAILURE_LIMIT:
+                        raise AgileIoError(
+                            f"cache fill of lba {lba} on ssd {ssd_idx} "
+                            f"failed {fill_failures} times"
+                        )
+                    continue
             if for_write:
                 self.set_line_state(line, LineState.MODIFIED, reason="fill_write")
             return line
@@ -365,7 +388,7 @@ class SoftwareCache:
         self,
         line: CacheLine,
         tag: tuple[int, int],
-        _completion: Optional[NvmeCompletion] = None,
+        completion: Optional[NvmeCompletion] = None,
     ) -> None:
         if line.tag != tag:
             # The line was re-purposed between issue and completion; the
@@ -373,8 +396,28 @@ class SoftwareCache:
             # which the new owner will overwrite).
             self.stats.add("stale_fills")
             return
+        if completion is not None and not completion.ok:
+            self.stats.add("fill_errors")
+            self._abort_fill(line, tag)
+            return
         self.set_line_state(line, LineState.READY, reason="fill")
         self.policy.on_fill(line.set_idx, line.way)
+        line.ready_gate.open()
+
+    def _abort_fill(self, line: CacheLine, tag: tuple[int, int]) -> None:
+        """Failed fill: release the claim so the line cannot stick in BUSY.
+
+        The tag mapping is dropped, the pins are wiped (waiters detect the
+        recycled line after their gate wait and must not unpin), and the
+        BUSY -> INVALID transition is emitted with the ``fill_error`` reason
+        the cache-state checker accepts only for this path.
+        """
+        if line.tag != tag:
+            return
+        self._tags.pop(tag, None)
+        line.tag = None
+        line.pins = 0
+        self.set_line_state(line, LineState.INVALID, reason="fill_error")
         line.ready_gate.open()
 
     # -- pin management and direct data paths -----------------------------------

@@ -232,8 +232,21 @@ class AgileCtrl:
             tc, chain, ssd_idx, Opcode.READ, lba,
             buf.view[: self.line_size], label="aread",
         )
-        txn.on_complete = lambda _c, b=buf: b.finish_fill()
+        txn.on_complete = lambda c, b=buf, t=tag: self._finish_async_read(b, t, c)
         return buf
+
+    def _finish_async_read(self, buf: AgileBuf, tag, completion) -> None:
+        """Completion action for a Share-Table-owned buffer fill: on error,
+        retire the table entry (sharers are notified through the shared
+        buffer's failure flag) and mark the buffer failed."""
+        if completion is not None and not completion.ok:
+            self.stats.add("async_read_failures")
+            if self.share_table is not None:
+                self.share_table.on_fill_failed(tag, buf)
+            buf.source = None
+            buf.fail_fill()
+            return
+        buf.finish_fill()
 
     def async_write(
         self,

@@ -25,12 +25,14 @@ from repro.core.ctrl import AgileCtrl
 from repro.core.issue import IssueEngine
 from repro.core.locks import LockDebugger
 from repro.core.policies import CachePolicy, make_policy
+from repro.core.recovery import RecoveryManager
 from repro.core.service import AgileService
 from repro.core.sharetable import SharePolicy, ShareTable
 from repro.core.buffers import AgileBuf
 from repro.gpu.device import Gpu, KernelLaunch
 from repro.gpu.kernel import KernelSpec, LaunchConfig
 from repro.analysis import hooks as analysis_hooks
+from repro.faults import FaultInjector
 from repro.nvme.driver import NvmeDriver
 from repro.nvme.flash import load_array, read_array
 from repro.sim.engine import Simulator
@@ -75,6 +77,20 @@ class AgileHost:
             for ssd in self.ssds
         ]
 
+        # -- fault plan + recovery policy ------------------------------------
+        # Both are built only when configured, so fault-free runs keep the
+        # exact pre-fault event stream (bit-identical golden traces).
+        self.fault_injector: Optional[FaultInjector] = None
+        if self.cfg.faults.active:
+            self.fault_injector = FaultInjector(
+                self.sim,
+                self.cfg.faults,
+                self.rng,
+                stats=self.trace.group("faults"),
+            )
+            for ssd in self.ssds:
+                ssd.arm_faults(self.fault_injector)
+
         # -- initializeAgile -------------------------------------------------
         self.issue = IssueEngine(
             self.sim,
@@ -84,6 +100,14 @@ class AgileHost:
             debugger=self.debugger,
             stats=self.trace.group("io"),
         )
+        self.recovery: Optional[RecoveryManager] = None
+        if self.cfg.faults.active or self.cfg.recovery.enabled:
+            self.recovery = RecoveryManager(
+                self.sim,
+                self.issue,
+                self.cfg.recovery,
+                stats=self.trace.group("recovery"),
+            )
         cache_policy = policy if policy is not None else make_policy(
             self.cfg.cache.policy
         )
@@ -254,3 +278,17 @@ class AgileHost:
 
     def stats(self) -> dict[str, dict[str, float]]:
         return self.trace.snapshot()
+
+    def device_health(self) -> list[dict[str, object]]:
+        """Per-device counters plus circuit-breaker state (diagnostics for
+        chaos runs and the bench trend report)."""
+        report = self.driver.device_stats()
+        for idx, entry in enumerate(report):
+            if self.recovery is not None:
+                br = self.recovery.breakers[idx]
+                entry["breaker_open"] = br.open
+                if br.open:
+                    entry["breaker_reason"] = self.recovery.dead_reason(idx)
+            else:
+                entry["breaker_open"] = False
+        return report

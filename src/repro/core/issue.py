@@ -36,14 +36,41 @@ from repro.sim.engine import SimError, Simulator, Timeout
 from repro.sim.trace import Counter
 
 
+class AgileIoError(SimError):
+    """An I/O request failed after the recovery policy was exhausted."""
+
+
+class DeviceDeadError(AgileIoError):
+    """The target device's circuit breaker is open; I/O fails fast."""
+
+
 @dataclass
 class PendingCommand:
-    """Service-side record pairing a CID with its SQE and barrier."""
+    """Service-side record pairing a CID with its SQE and barrier.
+
+    ``token`` is a per-submission generation number echoed through the
+    command's ``context`` field: CIDs equal slot indices here, so after an
+    abort-and-resubmit a late completion of the *old* incarnation could
+    otherwise retire a reused slot's *new* command.  ``pos`` is the SQ's
+    monotonic allocation position — the recovery daemon may only reclaim a
+    slot the device has already fetched (``sq.fetch_head > pos``), or the
+    fetch path would trip over a recycled entry.
+    """
 
     txn: Transaction
     qp: QueuePair
     slot: int
     ssd_idx: int
+    opcode: Opcode = Opcode.READ
+    lba: int = 0
+    data: Optional[np.ndarray] = None
+    label: str = "io"
+    token: int = 0
+    pos: int = 0
+    issued_at: float = 0.0
+    #: Completion deadline (0.0 = no timeout tracking).
+    deadline: float = 0.0
+    retries: int = 0
 
 
 class IssueEngine:
@@ -81,6 +108,10 @@ class IssueEngine:
         #: (ssd_idx, qid, cid) -> in-flight command record.
         self.pending: Dict[tuple[int, int, int], PendingCommand] = {}
         self._txn_seq = 0
+        #: Attached by :class:`repro.core.recovery.RecoveryManager`; while
+        #: None, completion handling stays strict (unknown CID = protocol
+        #: bug) and submissions carry no deadline.
+        self.recovery = None
 
     # -- public API ----------------------------------------------------------
 
@@ -106,6 +137,9 @@ class IssueEngine:
         """
         if not 0 <= ssd_idx < len(self.ssds):
             raise SimError(f"no SSD {ssd_idx} (have {len(self.ssds)})")
+        if self.recovery is not None and self.recovery.device_dead(ssd_idx):
+            self.stats.add("failed_fast")
+            raise DeviceDeadError(self.recovery.dead_reason(ssd_idx))
         qps = self.queue_pairs[ssd_idx]
         yield from tc.compute(self.api.issue_setup_cycles)
 
@@ -128,14 +162,25 @@ class IssueEngine:
                 yield Timeout(backoff)
                 backoff = min(backoff * 2, self.MAX_BACKOFF_NS)
         slot, cid = reservation
+        # Monotonic allocation position of this reservation (no yields have
+        # run since try_reserve, so alloc_tail still reflects it).
+        pos = qp.sq.alloc_tail - 1
 
         # -- build and publish the command ----------------------------------
-        self._txn_seq += 1
-        txn = Transaction(self.sim, label=f"{label}.{self._txn_seq}")
+        token = self.next_token()
+        txn = Transaction(self.sim, label=f"{label}.{token}")
         self.pending[(ssd_idx, qp.qid, cid)] = PendingCommand(
-            txn=txn, qp=qp, slot=slot, ssd_idx=ssd_idx
+            txn=txn, qp=qp, slot=slot, ssd_idx=ssd_idx,
+            opcode=opcode, lba=lba, data=data, label=label,
+            token=token, pos=pos, issued_at=self.sim.now,
+            deadline=(
+                self.sim.now + self.recovery.cfg.command_timeout_ns
+                if self.recovery is not None else 0.0
+            ),
         )
-        cmd = NvmeCommand(opcode=opcode, cid=cid, lba=lba, data=data)
+        cmd = NvmeCommand(
+            opcode=opcode, cid=cid, lba=lba, data=data, context=token
+        )
         yield from tc.hbm_store(SQE_SIZE)
         qp.sq.publish(slot, cmd)
         self.stats.add("commands_submitted")
@@ -160,15 +205,37 @@ class IssueEngine:
 
     # -- service-side hooks --------------------------------------------------------
 
-    def complete(self, ssd_idx: int, qid: int, cid: int) -> PendingCommand:
+    def next_token(self) -> int:
+        """Allocate the next per-submission generation token."""
+        self._txn_seq += 1
+        return self._txn_seq
+
+    def complete(
+        self, ssd_idx: int, qid: int, cid: int, token: Optional[int] = None
+    ) -> Optional[PendingCommand]:
         """Look up and retire the pending record for a completion; releases
-        the SQE so the slot can be reused (Fig. 3 step 2)."""
+        the SQE so the slot can be reused (Fig. 3 step 2).
+
+        ``token`` is the completion's echoed ``context``.  With recovery
+        attached, a completion whose CID is unknown or whose token does not
+        match the live record is *stale* — the late/duplicated CQE of an
+        aborted or already-retired incarnation — and is ignored (returns
+        None).  Without recovery the strict contract holds: an unknown CID
+        is a protocol bug and raises.
+        """
         key = (ssd_idx, qid, cid)
-        record = self.pending.pop(key, None)
-        if record is None:
-            raise SimError(f"completion for unknown command {key}")
+        record = self.pending.get(key)
+        if record is None or (token is not None and record.token != token):
+            if self.recovery is None and record is None:
+                raise SimError(f"completion for unknown command {key}")
+            self.stats.add("stale_completions")
+            return None
+        del self.pending[key]
         record.qp.sq.release(record.slot)
         return record
 
     def inflight(self) -> int:
-        return len(self.pending)
+        n = len(self.pending)
+        if self.recovery is not None:
+            n += self.recovery.resubmitting
+        return n

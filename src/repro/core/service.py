@@ -77,7 +77,8 @@ class AgileService:
         return any(p.alive for p in self._procs)
 
     def start(self) -> None:
-        """``host.startAgile()``: spawn the polling warps."""
+        """``host.startAgile()``: spawn the polling warps (and the recovery
+        daemon, when one is attached to the issue engine)."""
         if self.running:
             return
         self._procs = [
@@ -88,12 +89,16 @@ class AgileService:
             )
             for w in range(self.cfg.polling_warps)
         ]
+        if self.issue.recovery is not None:
+            self.issue.recovery.start()
 
     def stop(self) -> None:
         """``host.stopAgile()``: terminate the polling warps."""
         for p in self._procs:
             p.kill()
         self._procs = []
+        if self.issue.recovery is not None:
+            self.issue.recovery.stop()
 
     # -- Algorithm 1 -----------------------------------------------------------------
 
@@ -143,12 +148,25 @@ class AgileService:
         # All 32 lanes probe their CQE concurrently; the simulator walks the
         # same window sequentially but charges only the single warp-wide
         # iteration cost (already paid by the caller).
+        recovery = self.issue.recovery
         while pos < window_end:
             completion = cq.peek(pos)
             if completion is None:
                 break
-            record = self.issue.complete(ssd_idx, completion.sq_id, completion.cid)
-            record.txn.finish(completion)
+            record = self.issue.complete(
+                ssd_idx, completion.sq_id, completion.cid,
+                token=completion.context,
+            )
+            if record is not None:
+                if recovery is not None:
+                    recovery.on_completion(record, completion)
+                if not completion.ok:
+                    self.stats.add("error_completions")
+                record.txn.finish(completion)
+            else:
+                # Stale: the late/duplicate CQE of an aborted or already
+                # retired incarnation (recovery mode only) — consume it.
+                self.stats.add("stale_completions")
             processed += 1
             pos += 1
         if processed:

@@ -168,6 +168,23 @@ class ShareTable:
             )
         return entry, True
 
+    def on_fill_failed(self, tag: tuple[int, int], buf: AgileBuf) -> None:
+        """The fetch backing ``tag``'s entry failed: retire the entry so
+        future lookups miss (and re-fetch) instead of sharing garbage.
+
+        Owner and sharers all hold the same :class:`AgileBuf`; its failure
+        flag plus gate opening is the owner-notification path, so the
+        references are force-dropped here (refcount to zero precedes the
+        INVALID transition, as the Share Table checker requires).
+        """
+        entry = self._entries.get(tag)
+        if entry is None or entry.buf is not buf:
+            return
+        self._entries.pop(tag, None)
+        self.stats.add("share_fill_failures")
+        entry.refcount = 0
+        self._set_state(entry, BufState.INVALID, "fill_failed")
+
     def mark_modified(self, tc: ThreadContext, tag: tuple[int, int]) -> None:
         """A thread wrote the buffer: EXCLUSIVE->MODIFIED, SHARED->OWNED."""
         entry = self._entries.get(tag)

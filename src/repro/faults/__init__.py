@@ -1,0 +1,159 @@
+"""Deterministic, seed-driven fault injection (full-system SSD simulators
+such as Amber/SimpleSSD model media errors and latency outliers as
+first-class events; this package brings the same regime to the AGILE
+reproduction).
+
+A :class:`FaultInjector` is armed into the NVMe models by
+:class:`~repro.core.host.AgileHost` whenever ``cfg.faults.active``; every
+hook site in the hot path is guarded by an ``injector is None`` check, so a
+fault-free configuration pays nothing and its golden traces stay
+bit-identical.  Each fault class draws from its own named
+:class:`~repro.sim.rng.RngStreams` stream, so plans are bit-reproducible
+per seed and adding a fault class never perturbs the draws of another.
+
+Fault classes:
+
+- flash page read / program failures (surface as NVMe error-status CQEs);
+- flash latency outliers (tail events on the channel servers);
+- dropped / duplicated CQEs at the controller's posting stage;
+- transient PCIe link stalls on DMA transfers.
+
+The recovery machinery these force into existence lives in
+:mod:`repro.core.recovery`; the chaos harness is ``python -m repro.faults``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.config import FaultConfig
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngStreams
+from repro.sim.trace import Counter
+
+
+class FaultInjector:
+    """Rolls per-decision fault dice from named deterministic streams."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cfg: FaultConfig,
+        rng: RngStreams,
+        stats: Optional[Counter] = None,
+    ):
+        self.sim = sim
+        self.cfg = cfg
+        self.stats = stats if stats is not None else Counter()
+        self._flash_read = rng.stream("faults.flash_read")
+        self._flash_write = rng.stream("faults.flash_write")
+        self._flash_latency = rng.stream("faults.flash_latency")
+        self._cqe_drop = rng.stream("faults.cqe_drop")
+        self._cqe_dup = rng.stream("faults.cqe_dup")
+        self._pcie = rng.stream("faults.pcie")
+        #: Remaining count-based deterministic failures (targeted tests).
+        self._read_fail_budget = cfg.flash_read_fail_first
+        self._drop_budget = cfg.cqe_drop_first
+
+    def _window_open(self) -> bool:
+        return self.cfg.window_start_ns <= self.sim.now < self.cfg.window_end_ns
+
+    # -- flash media ---------------------------------------------------------
+
+    def flash_read_fails(self, lba: int) -> bool:
+        """Decide one page read's fate (called at flash service completion)."""
+        if self._read_fail_budget > 0:
+            self._read_fail_budget -= 1
+            self.stats.add("flash_read_errors")
+            return True
+        rate = self.cfg.flash_read_error_rate
+        if rate <= 0.0 or not self._window_open():
+            return False
+        if self._flash_read.random() < rate:
+            self.stats.add("flash_read_errors")
+            return True
+        return False
+
+    def flash_write_fails(self, lba: int) -> bool:
+        """Decide one page program's fate."""
+        rate = self.cfg.flash_write_error_rate
+        if rate <= 0.0 or not self._window_open():
+            return False
+        if self._flash_write.random() < rate:
+            self.stats.add("flash_write_errors")
+            return True
+        return False
+
+    def flash_latency_mult(self, lba: int) -> float:
+        """Service-time multiplier for one flash operation (1.0 = nominal)."""
+        rate = self.cfg.flash_latency_outlier_rate
+        if rate <= 0.0 or not self._window_open():
+            return 1.0
+        if self._flash_latency.random() < rate:
+            self.stats.add("flash_latency_outliers")
+            return self.cfg.flash_latency_outlier_mult
+        return 1.0
+
+    # -- completion path -----------------------------------------------------
+
+    def drop_cqe(self, qid: int) -> bool:
+        """Decide whether a completion is silently lost."""
+        if self._drop_budget > 0:
+            self._drop_budget -= 1
+            self.stats.add("cqe_drops")
+            return True
+        rate = self.cfg.cqe_drop_rate
+        if rate <= 0.0 or not self._window_open():
+            return False
+        if self._cqe_drop.random() < rate:
+            self.stats.add("cqe_drops")
+            return True
+        return False
+
+    def duplicate_cqe(self, qid: int) -> bool:
+        """Decide whether a completion is posted twice."""
+        rate = self.cfg.cqe_duplicate_rate
+        if rate <= 0.0 or not self._window_open():
+            return False
+        if self._cqe_dup.random() < rate:
+            self.stats.add("cqe_duplicates")
+            return True
+        return False
+
+    # -- interconnect --------------------------------------------------------
+
+    def pcie_stall_ns(self, link_name: str) -> float:
+        """Extra stall (ns) to charge one DMA transfer; 0.0 = no fault."""
+        rate = self.cfg.pcie_stall_rate
+        if rate <= 0.0 or not self._window_open():
+            return 0.0
+        if self._pcie.random() < rate:
+            self.stats.add("pcie_stalls")
+            return self.cfg.pcie_stall_ns
+        return 0.0
+
+
+def plan_from_seed(seed: int, intensity: float = 1.0) -> FaultConfig:
+    """Derive a randomized-but-reproducible storm plan from a seed.
+
+    Rates are drawn from a dedicated stream of the seed's ``RngStreams``,
+    so printing the seed is enough to replay the exact storm.  ``intensity``
+    scales every rate linearly (the weekly CI storm runs hotter).
+    """
+    draw = RngStreams(seed).stream("faults.plan")
+    scale = max(0.0, intensity)
+    return FaultConfig(
+        flash_read_error_rate=min(1.0, float(draw.uniform(0.0, 0.05)) * scale),
+        flash_write_error_rate=min(1.0, float(draw.uniform(0.0, 0.03)) * scale),
+        flash_latency_outlier_rate=min(
+            1.0, float(draw.uniform(0.0, 0.05)) * scale
+        ),
+        flash_latency_outlier_mult=float(draw.uniform(5.0, 40.0)),
+        cqe_drop_rate=min(1.0, float(draw.uniform(0.0, 0.03)) * scale),
+        cqe_duplicate_rate=min(1.0, float(draw.uniform(0.0, 0.03)) * scale),
+        pcie_stall_rate=min(1.0, float(draw.uniform(0.0, 0.02)) * scale),
+        pcie_stall_ns=float(draw.uniform(30_000.0, 200_000.0)),
+    )
+
+
+__all__ = ["FaultInjector", "plan_from_seed"]

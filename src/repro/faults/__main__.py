@@ -1,0 +1,286 @@
+"""Chaos harness: ``python -m repro.faults storm --seed N [--agile-checks]``.
+
+Runs a mixed AGILE workload (cached page reads, Share-Table ``async_read``,
+raw reads, raw writes) under a seed-derived fault storm and asserts the
+paper's implicit liveness contract: every issued command reaches a terminal
+state — data delivered or a clean ``AgileIoError``/error completion — with
+no hangs, no leaked in-flight commands, no SQ slots stuck outside EMPTY,
+and (with ``--agile-checks``) no protocol-invariant violations.
+
+The storm plan is derived deterministically from the seed
+(:func:`repro.faults.plan_from_seed`), so the printed replay line is all a
+CI log needs to reproduce a failure locally.  The weekly randomized CI job
+passes a seed derived from the run id and a higher ``--intensity``.
+
+Simulation-safety: no wall-clock reads (AGL001) and all randomness is
+seeded (AGL002) — hang detection is the *simulator's* watchdog, which
+raises :class:`~repro.sim.engine.SimStallError` on sim-time stalls.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List
+
+import numpy as np
+
+from repro.config import (
+    CacheConfig,
+    RecoveryConfig,
+    SsdConfig,
+    SystemConfig,
+)
+from repro.core import AgileHost, AgileLockChain
+from repro.core.issue import AgileIoError
+from repro.faults import plan_from_seed
+from repro.gpu import KernelSpec, LaunchConfig
+from repro.nvme.queue import SlotState
+
+
+def _bump(outcomes: Dict[str, int], key: str) -> None:
+    outcomes[key] = outcomes.get(key, 0) + 1
+
+
+def _make_storm_kernel(
+    num_ssds: int,
+    requests: int,
+    lba_space: int,
+    write_base: int,
+    write_space: int,
+):
+    """Mixed-op kernel: each thread runs ``requests`` operations chosen by
+    its own seeded stream, counting successes, error completions, and clean
+    failures.  Reads target ``[0, lba_space)``; writes target a disjoint
+    region so read-path data checks stay meaningful elsewhere."""
+
+    def body(tc, ctrl, bufs, scratch, outcomes, seed):
+        chain = AgileLockChain(f"storm.t{tc.tid}")
+        rng = np.random.default_rng(seed * 7919 + tc.tid)
+        for i in range(requests):
+            op = int(rng.integers(0, 4))
+            ssd = int(rng.integers(0, num_ssds))
+            lba = int(rng.integers(0, lba_space))
+            try:
+                if op == 0:
+                    line = yield from ctrl.read_page(tc, chain, ssd, lba)
+                    ctrl.cache.unpin(line)
+                    _bump(outcomes, "cache_reads_ok")
+                elif op == 1:
+                    got = yield from ctrl.async_read(
+                        tc, chain, ssd, lba, bufs[tc.tid]
+                    )
+                    yield from got.wait()
+                    _bump(
+                        outcomes,
+                        "async_reads_ok" if got.ok else "error_completions",
+                    )
+                    yield from ctrl.release_buffer(tc, chain, got)
+                elif op == 2:
+                    txn = yield from ctrl.raw_read(
+                        tc, chain, ssd, lba, scratch[tc.tid]
+                    )
+                    completion = yield from txn.wait()
+                    _bump(
+                        outcomes,
+                        "raw_reads_ok"
+                        if completion.ok
+                        else "error_completions",
+                    )
+                else:
+                    wlba = write_base + int(rng.integers(0, write_space))
+                    txn = yield from ctrl.raw_write(
+                        tc, chain, ssd, wlba, scratch[tc.tid]
+                    )
+                    completion = yield from txn.wait()
+                    _bump(
+                        outcomes,
+                        "raw_writes_ok"
+                        if completion.ok
+                        else "error_completions",
+                    )
+            except AgileIoError:
+                # Bounded retries exhausted or circuit breaker open: the
+                # contract is *clean* failure, which this exception is.
+                _bump(outcomes, "clean_failures")
+            yield from tc.compute(25.0)
+
+    return body
+
+
+def _storm_config(seed: int, intensity: float, num_ssds: int) -> SystemConfig:
+    plan = plan_from_seed(seed, intensity)
+    return SystemConfig(
+        seed=seed,
+        cache=CacheConfig(num_lines=32, ways=4),
+        ssds=tuple(
+            SsdConfig(name=f"ssd{i}", capacity_bytes=1 << 28)
+            for i in range(num_ssds)
+        ),
+        queue_pairs=4,
+        queue_depth=32,
+        faults=plan,
+        # Timeout sits below the worst latency-outlier tail (mult can reach
+        # 40x the 83.8us flash program), so storms genuinely exercise the
+        # timeout -> backoff -> resubmit path, not just error CQEs.
+        recovery=RecoveryConfig(
+            enabled=True,
+            command_timeout_ns=1_200_000.0,
+            scan_interval_ns=150_000.0,
+            max_retries=4,
+            retry_backoff_ns=50_000.0,
+            breaker_threshold=12,
+        ),
+    )
+
+
+def _print_plan(cfg: SystemConfig) -> None:
+    f = cfg.faults
+    print("storm plan (seed-derived, deterministic):")
+    print(f"  flash_read_error_rate     = {f.flash_read_error_rate:.4f}")
+    print(f"  flash_write_error_rate    = {f.flash_write_error_rate:.4f}")
+    print(f"  flash_latency_outlier     = {f.flash_latency_outlier_rate:.4f}"
+          f" x{f.flash_latency_outlier_mult:.1f}")
+    print(f"  cqe_drop_rate             = {f.cqe_drop_rate:.4f}")
+    print(f"  cqe_duplicate_rate        = {f.cqe_duplicate_rate:.4f}")
+    print(f"  pcie_stall_rate           = {f.pcie_stall_rate:.4f}"
+          f" ({f.pcie_stall_ns:.0f} ns)")
+
+
+def storm(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.faults storm",
+        description="seed-driven chaos run asserting "
+        "completion-or-clean-failure",
+    )
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--threads", type=int, default=64)
+    parser.add_argument(
+        "--requests", type=int, default=8, help="operations per thread"
+    )
+    parser.add_argument(
+        "--intensity",
+        type=float,
+        default=1.0,
+        help="scale every fault rate (weekly CI runs hotter)",
+    )
+    parser.add_argument("--ssds", type=int, default=2)
+    parser.add_argument(
+        "--agile-checks",
+        action="store_true",
+        help="attach runtime invariant checkers + offline race analysis",
+    )
+    args = parser.parse_args(argv)
+
+    cfg = _storm_config(args.seed, args.intensity, args.ssds)
+    replay = (
+        f"python -m repro.faults storm --seed {args.seed}"
+        f" --threads {args.threads} --requests {args.requests}"
+        f" --intensity {args.intensity}"
+        + (" --agile-checks" if args.agile_checks else "")
+    )
+    print(f"replay: {replay}")
+    _print_plan(cfg)
+
+    # Watchdog: any sim-time stall (lost wakeup, leaked lock, unhandled
+    # dropped completion) raises SimStallError instead of hanging CI.
+    host = AgileHost(cfg, watchdog_ns=50_000_000.0)
+    session = None
+    if args.agile_checks:
+        from repro.analysis import attach
+
+        session = attach(host)
+
+    lba_space = 512
+    write_base = 1024
+    pattern = np.arange(lba_space * cfg.ssds[0].page_size, dtype=np.uint8)
+    for idx in range(len(host.ssds)):
+        host.load_data(idx, 0, pattern)
+
+    bufs = [host.make_buffer(label=f"storm.t{i}") for i in range(args.threads)]
+    scratch = [host.alloc_view(cfg.ssds[0].page_size) for _ in range(args.threads)]
+    for view in scratch:
+        view[:] = 0x5A
+    outcomes: Dict[str, int] = {}
+    kernel = KernelSpec(
+        name="fault_storm",
+        body=_make_storm_kernel(
+            args.ssds, args.requests, lba_space, write_base, lba_space
+        ),
+        registers_per_thread=48,
+    )
+    block = min(args.threads, 64)
+    grid = (args.threads + block - 1) // block
+    with host:
+        duration = host.run_kernel(
+            kernel,
+            LaunchConfig(grid, block),
+            (bufs, scratch, outcomes, args.seed),
+        )
+        host.drain()
+
+    problems: List[str] = []
+    total_ops = args.threads * args.requests
+    accounted = sum(outcomes.values())
+    if accounted != total_ops:
+        problems.append(
+            f"op accounting leak: {accounted}/{total_ops} operations "
+            f"reached a terminal state"
+        )
+    inflight = host.issue.inflight()
+    if inflight != 0:
+        problems.append(f"{inflight} command(s) still in flight after drain")
+    for qps in host.queue_pairs:
+        for qp in qps:
+            stuck = [
+                slot
+                for slot, state in enumerate(qp.sq.state)
+                if state is not SlotState.EMPTY
+            ]
+            if stuck:
+                problems.append(f"SQ{qp.qid} slots stuck non-EMPTY: {stuck}")
+    if session is not None:
+        report = session.report()
+        if not report.clean:
+            problems.append(report.summary())
+
+    print(f"\nkernel duration: {duration:.0f} ns sim"
+          f" ({host.sim.event_count} events)")
+    print("outcomes:")
+    for key in sorted(outcomes):
+        print(f"  {key:20s} {outcomes[key]}")
+    stats = host.stats()
+    for group in ("faults", "recovery", "io"):
+        if group in stats and stats[group]:
+            print(f"{group}:")
+            for key in sorted(stats[group]):
+                print(f"  {key:20s} {stats[group][key]:.0f}")
+    print("device health:")
+    for entry in host.device_health():
+        print(f"  {entry}")
+    if session is not None:
+        print(f"invariant events checked: {session.events_checked()}")
+
+    if problems:
+        print("\nSTORM FAILED:")
+        for problem in problems:
+            print(f"  - {problem}")
+        print(f"  replay with: {replay}")
+        return 1
+    print("\nstorm passed: every operation completed or failed cleanly")
+    return 0
+
+
+COMMANDS = {"storm": storm}
+
+
+def main(argv: List[str]) -> int:
+    if not argv or argv[0] not in COMMANDS:
+        names = ", ".join(sorted(COMMANDS))
+        print(f"usage: python -m repro.faults {{{names}}} [options]")
+        return 2
+    return COMMANDS[argv[0]](argv[1:])
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -30,17 +30,28 @@ class PcieLink:
         self.upstream = BandwidthPipe(
             sim, cfg.bytes_per_ns, cfg.latency_ns, name=f"{name}.up"
         )
+        #: Armed by the host when the fault plan is active
+        #: (:class:`repro.faults.FaultInjector`); None costs nothing.
+        self.injector = None
 
     def dma_read(self, nbytes: int) -> Generator[Any, Any, None]:
         """Device reads ``nbytes`` from the far side (request + data).
 
         Modelled as one request latency plus the data transfer back.
         """
+        if self.injector is not None:
+            stall = self.injector.pcie_stall_ns(self.name)
+            if stall > 0.0:
+                yield Timeout(stall)
         yield Timeout(self.cfg.latency_ns)
         yield from self.upstream.transfer(nbytes)
 
     def dma_write(self, nbytes: int) -> Generator[Any, Any, None]:
         """Device writes ``nbytes`` to the far side (posted)."""
+        if self.injector is not None:
+            stall = self.injector.pcie_stall_ns(self.name)
+            if stall > 0.0:
+                yield Timeout(stall)
         yield from self.downstream.transfer(nbytes)
 
 

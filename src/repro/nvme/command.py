@@ -36,7 +36,10 @@ class Status(enum.IntEnum):
 
     SUCCESS = 0x0
     INVALID_OPCODE = 0x1
+    ABORTED = 0x4
     LBA_OUT_OF_RANGE = 0x80
+    WRITE_FAULT = 0x280
+    UNRECOVERED_READ_ERROR = 0x281
 
 
 @dataclass

@@ -68,6 +68,18 @@ class SsdController:
         self.bytes_read = 0
         self.bytes_written = 0
         self.errors = 0
+        self.dropped_cqes = 0
+        self.duplicated_cqes = 0
+        #: Armed by the host when the fault plan is active
+        #: (:class:`repro.faults.FaultInjector`); None costs nothing.
+        self.injector = None
+
+    def arm_faults(self, injector) -> None:
+        """Wire one fault injector into the controller, its flash array and
+        its PCIe link (host-side setup, no simulated time)."""
+        self.injector = injector
+        self.flash.injector = injector
+        self.link.injector = injector
 
     # -- registration ------------------------------------------------------------
 
@@ -128,16 +140,23 @@ class SsdController:
             if not self.flash.page_in_range(cmd.lba + cmd.num_pages - 1):
                 status = Status.LBA_OUT_OF_RANGE
             else:
+                ok = True
                 for p in range(cmd.num_pages):
-                    yield from self.flash.read_service(cmd.lba + p)
-                yield from self.link.dma_write(nbytes)
-                if self.gpu_pipe is not None:
-                    yield from self.gpu_pipe.transfer(nbytes)
-                if cmd.data is not None:
-                    self._copy_flash_to_target(cmd)
-                yield from self.hbm.store(nbytes)
-                self.completed_reads += 1
-                self.bytes_read += nbytes
+                    ok = yield from self.flash.read_service(cmd.lba + p)
+                    if not ok:
+                        break
+                if not ok:
+                    # Unrecovered media error: no data leaves the device.
+                    status = Status.UNRECOVERED_READ_ERROR
+                else:
+                    yield from self.link.dma_write(nbytes)
+                    if self.gpu_pipe is not None:
+                        yield from self.gpu_pipe.transfer(nbytes)
+                    if cmd.data is not None:
+                        self._copy_flash_to_target(cmd)
+                    yield from self.hbm.store(nbytes)
+                    self.completed_reads += 1
+                    self.bytes_read += nbytes
         elif cmd.opcode is Opcode.WRITE:
             if not self.flash.page_in_range(cmd.lba + cmd.num_pages - 1):
                 status = Status.LBA_OUT_OF_RANGE
@@ -148,10 +167,19 @@ class SsdController:
                     yield from self.gpu_pipe.transfer(nbytes)
                 if cmd.data is not None:
                     self._copy_target_to_flash(cmd)
+                ok = True
                 for p in range(cmd.num_pages):
-                    yield from self.flash.write_service(cmd.lba + p)
-                self.completed_writes += 1
-                self.bytes_written += nbytes
+                    ok = yield from self.flash.write_service(cmd.lba + p)
+                    if not ok:
+                        break
+                if not ok:
+                    # Program failed; page contents are undefined, which the
+                    # already-applied copy models (real NAND leaves the page
+                    # in an indeterminate state on a program fault).
+                    status = Status.WRITE_FAULT
+                else:
+                    self.completed_writes += 1
+                    self.bytes_written += nbytes
         elif cmd.opcode is Opcode.FLUSH:
             pass  # data is durable on program completion in this model
         else:
@@ -175,6 +203,26 @@ class SsdController:
     def _post_completion(
         self, qp: QueuePair, cmd: NvmeCommand, status: Status
     ) -> Generator[Any, Any, None]:
+        if self.injector is not None and self.injector.drop_cqe(qp.qid):
+            # Completion silently lost: the host's recovery daemon must
+            # time the command out and abort-and-resubmit.
+            self.dropped_cqes += 1
+            if qp.cq.log is not None:
+                qp.cq.log.emit(
+                    "fault.cqe_drop", src=qp.cq, qid=qp.qid, cid=cmd.cid,
+                    status=status,
+                )
+            return
+        copies = 1
+        if self.injector is not None and self.injector.duplicate_cqe(qp.qid):
+            self.duplicated_cqes += 1
+            copies = 2
+        for _ in range(copies):
+            yield from self._post_one(qp, cmd, status)
+
+    def _post_one(
+        self, qp: QueuePair, cmd: NvmeCommand, status: Status
+    ) -> Generator[Any, Any, None]:
         while not qp.cq.device_try_reserve():
             ev = self.sim.event(name=self._cq_space_names[qp.qid])
             qp.cq.add_space_waiter(ev.trigger)
@@ -194,3 +242,17 @@ class SsdController:
 
     def completed(self) -> int:
         return self.completed_reads + self.completed_writes
+
+    def stats(self) -> dict[str, int]:
+        """Health/throughput counters for bench reports and diagnostics."""
+        return {
+            "completed_reads": self.completed_reads,
+            "completed_writes": self.completed_writes,
+            "bytes_read": self.bytes_read,
+            "bytes_written": self.bytes_written,
+            "errors": self.errors,
+            "flash_read_errors": self.flash.read_errors,
+            "flash_write_errors": self.flash.write_errors,
+            "dropped_cqes": self.dropped_cqes,
+            "duplicated_cqes": self.duplicated_cqes,
+        }

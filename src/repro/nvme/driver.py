@@ -77,3 +77,15 @@ class NvmeDriver:
             ctrl.register_queue_pair(qp)
             pairs.append(qp)
         return pairs
+
+    def device_stats(self) -> list[dict[str, object]]:
+        """Per-device health counters (errors were previously counted but
+        never surfaced; bench reports and chaos diagnostics read this)."""
+        return [
+            {"name": ctrl.cfg.name, **ctrl.stats()}
+            for ctrl in self.controllers
+        ]
+
+    def total_errors(self) -> int:
+        """Error-status completions across all devices."""
+        return sum(ctrl.errors for ctrl in self.controllers)

@@ -32,6 +32,11 @@ class FlashArray:
         ]
         self.reads = 0
         self.writes = 0
+        self.read_errors = 0
+        self.write_errors = 0
+        #: Armed by the host when the fault plan is active
+        #: (:class:`repro.faults.FaultInjector`); None costs nothing.
+        self.injector = None
 
     # -- data plane ------------------------------------------------------------
 
@@ -61,15 +66,31 @@ class FlashArray:
     def _channel(self, lba: int) -> FifoServer:
         return self._channels[lba % self.cfg.channels]
 
-    def read_service(self, lba: int) -> Generator[Any, Any, None]:
-        """Occupy the page's channel for one flash read."""
+    def read_service(self, lba: int) -> Generator[Any, Any, bool]:
+        """Occupy the page's channel for one flash read; returns success."""
         self.reads += 1
-        yield from self._channel(lba).process(self.cfg.read_latency_ns)
+        if self.injector is None:
+            yield from self._channel(lba).process(self.cfg.read_latency_ns)
+            return True
+        latency = self.cfg.read_latency_ns * self.injector.flash_latency_mult(lba)
+        yield from self._channel(lba).process(latency)
+        if self.injector.flash_read_fails(lba):
+            self.read_errors += 1
+            return False
+        return True
 
-    def write_service(self, lba: int) -> Generator[Any, Any, None]:
-        """Occupy the page's channel for one flash program."""
+    def write_service(self, lba: int) -> Generator[Any, Any, bool]:
+        """Occupy the page's channel for one flash program; returns success."""
         self.writes += 1
-        yield from self._channel(lba).process(self.cfg.write_latency_ns)
+        if self.injector is None:
+            yield from self._channel(lba).process(self.cfg.write_latency_ns)
+            return True
+        latency = self.cfg.write_latency_ns * self.injector.flash_latency_mult(lba)
+        yield from self._channel(lba).process(latency)
+        if self.injector.flash_write_fails(lba):
+            self.write_errors += 1
+            return False
+        return True
 
     def channel_utilization(self) -> float:
         if not self._channels:

@@ -31,6 +31,10 @@ class SweepPoint:
     #: layer, which owns real-time reads (AGL001); workloads only report
     #: the simulated-event count.
     sim_events: int = 0
+    #: Error-status completions across all devices.  A fault-free sweep
+    #: must report zero; the bench trend artifact records it so silent
+    #: error-path regressions show up in CI history.
+    device_errors: int = 0
 
     @property
     def bandwidth_gbps(self) -> float:
@@ -116,6 +120,7 @@ def run_bandwidth_sweep(
         duration_ns=duration,
         bytes_moved=moved,
         sim_events=host.sim.event_count,
+        device_errors=host.driver.total_errors(),
     )
 
 

@@ -1,0 +1,117 @@
+"""The fault injector itself: deterministic per seed, window-gated, and
+completely absent (not merely inert) from fault-free hosts."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.config import FaultConfig
+from repro.faults import FaultInjector, plan_from_seed
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngStreams
+
+from tests.helpers import make_host
+
+
+def _decision_tape(seed: int, cfg: FaultConfig, n: int = 200):
+    inj = FaultInjector(Simulator(), cfg, RngStreams(seed))
+    return [
+        (
+            inj.flash_read_fails(i),
+            inj.flash_write_fails(i),
+            inj.flash_latency_mult(i),
+            inj.drop_cqe(i % 4),
+            inj.duplicate_cqe(i % 4),
+            inj.pcie_stall_ns("pcie0"),
+        )
+        for i in range(n)
+    ]
+
+
+class TestDeterminism:
+    CFG = FaultConfig(
+        flash_read_error_rate=0.1,
+        flash_write_error_rate=0.1,
+        flash_latency_outlier_rate=0.1,
+        cqe_drop_rate=0.1,
+        cqe_duplicate_rate=0.1,
+        pcie_stall_rate=0.1,
+    )
+
+    def test_same_seed_same_decisions(self):
+        assert _decision_tape(11, self.CFG) == _decision_tape(11, self.CFG)
+
+    def test_different_seed_different_decisions(self):
+        assert _decision_tape(11, self.CFG) != _decision_tape(12, self.CFG)
+
+    def test_streams_are_independent(self):
+        """Draining one fault class's stream must not shift another's —
+        the per-class named-stream contract."""
+        a = _decision_tape(11, self.CFG)
+        inj = FaultInjector(Simulator(), self.CFG, RngStreams(11))
+        for _ in range(500):
+            inj.duplicate_cqe(0)  # burn only the duplicate stream
+        reads = [inj.flash_read_fails(i) for i in range(200)]
+        assert reads == [row[0] for row in a]
+
+
+class TestGating:
+    def test_window_excludes_faults_outside_it(self):
+        cfg = FaultConfig(
+            cqe_drop_rate=1.0, window_start_ns=100.0, window_end_ns=200.0
+        )
+        sim = Simulator()
+        inj = FaultInjector(sim, cfg, RngStreams(1))
+        seen = {}
+
+        def probe():
+            seen["before"] = inj.drop_cqe(0)
+            yield sim.timeout(150.0)
+            seen["inside"] = inj.drop_cqe(0)
+            yield sim.timeout(100.0)
+            seen["after"] = inj.drop_cqe(0)
+
+        sim.spawn(probe(), name="probe")
+        sim.run()
+        assert seen == {"before": False, "inside": True, "after": False}
+
+    def test_count_budgets_fire_first_n_then_stop(self):
+        cfg = FaultConfig(flash_read_fail_first=2, cqe_drop_first=1)
+        inj = FaultInjector(Simulator(), cfg, RngStreams(1))
+        assert [inj.flash_read_fails(0) for _ in range(4)] == [
+            True, True, False, False,
+        ]
+        assert [inj.drop_cqe(0) for _ in range(3)] == [True, False, False]
+        assert cfg.active  # count budgets alone make a plan active
+
+    def test_fault_free_host_builds_no_machinery(self):
+        host = make_host()
+        assert host.fault_injector is None
+        assert host.recovery is None
+        assert all(ssd.injector is None for ssd in host.ssds)
+        assert all(ssd.flash.injector is None for ssd in host.ssds)
+
+
+class TestPlanFromSeed:
+    def test_reproducible(self):
+        assert plan_from_seed(5) == plan_from_seed(5)
+        assert plan_from_seed(5) != plan_from_seed(6)
+
+    def test_intensity_scales_rates(self):
+        base = plan_from_seed(5, intensity=1.0)
+        hot = plan_from_seed(5, intensity=2.0)
+        for f in (
+            "flash_read_error_rate",
+            "cqe_drop_rate",
+            "pcie_stall_rate",
+        ):
+            assert getattr(hot, f) >= getattr(base, f)
+
+    def test_plans_validate(self):
+        for seed in range(20):
+            plan = plan_from_seed(seed, intensity=5.0)
+            assert plan.active
+            for field in dataclasses.fields(plan):
+                value = getattr(plan, field.name)
+                if field.name.endswith("_rate"):
+                    assert 0.0 <= value <= 1.0

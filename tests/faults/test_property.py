@@ -1,0 +1,87 @@
+"""Property test (satellite of the fault-injection tentpole): for ANY fault
+plan, every issued command reaches a terminal state — a live completion, a
+recovered retry, or a synthetic ABORTED — with no leaked in-flight
+commands and no SQ slots left outside EMPTY."""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import attach
+from repro.config import FaultConfig, RecoveryConfig
+from repro.core import AgileLockChain
+from repro.core.issue import AgileIoError
+from repro.nvme.queue import SlotState
+
+from tests.helpers import make_host, run_kernel
+
+rates = st.floats(
+    min_value=0.0, max_value=0.25, allow_nan=False, allow_infinity=False
+)
+
+
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    read_err=rates,
+    drop=rates,
+    dup=rates,
+    outlier=rates,
+)
+def test_every_command_reaches_a_terminal_state(
+    seed, read_err, drop, dup, outlier
+):
+    host = make_host(
+        seed=seed,
+        queue_pairs=2,
+        queue_depth=8,
+        faults=FaultConfig(
+            flash_read_error_rate=read_err,
+            cqe_drop_rate=drop,
+            cqe_duplicate_rate=dup,
+            flash_latency_outlier_rate=outlier,
+            flash_latency_outlier_mult=20.0,
+        ),
+        recovery=RecoveryConfig(
+            enabled=True,
+            command_timeout_ns=400_000.0,
+            scan_interval_ns=100_000.0,
+            max_retries=3,
+            retry_backoff_ns=20_000.0,
+            breaker_threshold=1_000_000,  # liveness under test, not breaking
+        ),
+    )
+    session = attach(host)
+    dests = [host.alloc_view(4096) for _ in range(8)]
+    terminal = {"ok": 0, "error": 0, "clean_failure": 0}
+
+    def body(tc, ctrl, dests):
+        chain = AgileLockChain(f"t{tc.tid}")
+        for i in range(4):
+            try:
+                txn = yield from ctrl.raw_read(
+                    tc, chain, 0, (tc.tid * 13 + i * 5) % 64, dests[tc.tid]
+                )
+                completion = yield from txn.wait()
+                terminal["ok" if completion.ok else "error"] += 1
+            except AgileIoError:
+                terminal["clean_failure"] += 1
+
+    run_kernel(host, body, block=8, args=(dests,))
+
+    assert sum(terminal.values()) == 8 * 4
+    assert host.issue.inflight() == 0
+    assert host.recovery.resubmitting == 0
+    for qps in host.queue_pairs:
+        for qp in qps:
+            assert all(state is SlotState.EMPTY for state in qp.sq.state), (
+                f"SQ{qp.qid} leaked slots: {qp.sq.state}"
+            )
+    # Runtime invariant checkers raise inline; the offline analyzers get a
+    # final pass over the recorded stream too.
+    assert session.report().clean

@@ -1,0 +1,33 @@
+"""Smoke tests for the chaos harness CLI (the CI chaos matrix entry point)."""
+
+from __future__ import annotations
+
+from repro.faults.__main__ import main
+
+
+def test_storm_smoke(capsys):
+    rc = main(
+        ["storm", "--seed", "1", "--threads", "8", "--requests", "3"]
+    )
+    out = capsys.readouterr().out
+    assert rc == 0, out
+    assert "replay: python -m repro.faults storm --seed 1" in out
+    assert "storm plan" in out
+    assert "storm passed" in out
+
+
+def test_storm_smoke_with_checks(capsys):
+    rc = main(
+        [
+            "storm", "--seed", "2", "--threads", "8", "--requests", "3",
+            "--agile-checks",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert rc == 0, out
+    assert "invariant events checked:" in out
+
+
+def test_usage_without_subcommand(capsys):
+    assert main([]) == 2
+    assert "usage" in capsys.readouterr().out

@@ -69,12 +69,20 @@ def _run_mixed_workload(seed: int):
         "sink": sink,
         "now": host.sim.now,
         "events": host.sim.event_count,
+        "device_errors": host.driver.total_errors(),
+        "fault_injector": host.fault_injector,
+        "recovery": host.recovery,
     }
 
 
 def test_full_stack_golden_trace_is_bit_identical():
     a = _run_mixed_workload(seed=7)
     b = _run_mixed_workload(seed=7)
+    # Fault-free runs must build no fault/recovery machinery and complete
+    # every command cleanly — a nonzero device error count here means the
+    # error path leaked into the golden configuration.
+    assert a["fault_injector"] is None and a["recovery"] is None
+    assert a["device_errors"] == 0
     assert a["now"] == b["now"]
     assert a["events"] == b["events"]
     assert a["sink"] == b["sink"]
