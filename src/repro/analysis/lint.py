@@ -28,6 +28,12 @@ know about; this one enforces the repository's:
   the narrow scheduler-facing API (``schedule_immediate`` /
   ``schedule_at`` / ``spawn`` / event triggers) so the engine's dispatch
   fast path stays the single owner of queue and sequence-number state.
+- **AGL007** — no ad-hoc stats-dict mutations (``stats[...] = ...``,
+  ``self.stats = {}``/``defaultdict(...)``) outside ``telemetry/``: every
+  metric flows through the typed :mod:`repro.telemetry` instruments
+  (``Counter.add`` / ``Gauge.set`` / ``Histogram.observe``) so the unified
+  registry stays the single source of truth for ``stats()`` snapshots,
+  bench exports, and the Chrome-trace exporters.
 
 Exit status is 0 when clean, 1 when any violation is found.
 """
@@ -73,6 +79,14 @@ SCHEDULER_INTERNALS = {
     "_step_send",
     "_step_throw",
 }
+
+#: Attribute/variable names that hold metric state (AGL007): mutating them
+#: as raw dicts bypasses the typed :mod:`repro.telemetry` registry.
+STATS_DICT_NAMES = {"stats", "_stats", "counters", "_counters"}
+
+#: Constructors whose result, assigned to a stats-named attribute, is an
+#: ad-hoc metrics dict (AGL007).
+DICT_CONSTRUCTORS = {"dict", "defaultdict", "collections.defaultdict"}
 
 
 @dataclass(frozen=True)
@@ -159,6 +173,9 @@ class _FileLinter:
         self.scheduler_internals_ok = (
             path.name == "engine.py" and "sim" in parts
         )
+        #: The telemetry spine owns metric storage; everyone else uses its
+        #: typed instruments.
+        self.stats_dict_ok = "telemetry" in parts
 
     def add(self, node: ast.AST, code: str, message: str) -> None:
         self.violations.append(
@@ -180,6 +197,8 @@ class _FileLinter:
                 self._check_call(node, imports_random)
             elif isinstance(node, ast.Attribute):
                 self._check_config_attr(node)
+            elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                self._check_stats_mutation(node)
             if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 if _is_generator(node):
                     self._check_generator(node)
@@ -262,6 +281,51 @@ class _FileLinter:
                         f"process {fn.name!r} yields {bad}; processes may "
                         f"only yield Timeout/Event/Process/None awaitables",
                     )
+
+    def _check_stats_mutation(self, node: ast.Assign | ast.AugAssign) -> None:
+        if self.stats_dict_ok:
+            return
+        targets = (
+            node.targets if isinstance(node, ast.Assign) else [node.target]
+        )
+        for tgt in targets:
+            if isinstance(tgt, ast.Subscript):
+                name = self._bare_name(tgt.value)
+                if name in STATS_DICT_NAMES:
+                    self.add(
+                        tgt, "AGL007",
+                        f"ad-hoc stats-dict mutation {name}[...]; use a "
+                        f"typed repro.telemetry instrument "
+                        f"(Counter.add/Gauge.set/Histogram.observe)",
+                    )
+            elif isinstance(node, ast.Assign) and isinstance(
+                tgt, (ast.Attribute, ast.Name)
+            ):
+                name = self._bare_name(tgt)
+                if name in STATS_DICT_NAMES and self._is_dict_expr(node.value):
+                    self.add(
+                        tgt, "AGL007",
+                        f"{name} assigned a raw dict; metric state belongs "
+                        f"in the repro.telemetry registry (trace.group / "
+                        f"registry.counter)",
+                    )
+
+    @staticmethod
+    def _bare_name(node: ast.AST) -> Optional[str]:
+        if isinstance(node, ast.Attribute):
+            return node.attr
+        if isinstance(node, ast.Name):
+            return node.id
+        return None
+
+    @staticmethod
+    def _is_dict_expr(node: ast.AST) -> bool:
+        if isinstance(node, (ast.Dict, ast.DictComp)):
+            return True
+        if isinstance(node, ast.Call):
+            dotted = _dotted(node.func)
+            return dotted in DICT_CONSTRUCTORS
+        return False
 
     def _check_config_attr(self, node: ast.Attribute) -> None:
         base = node.value

@@ -41,7 +41,7 @@ from repro.nvme.device import SsdController
 from repro.nvme.queue import QueuePair, SlotState
 from repro.sim.engine import SimError, Simulator, Timeout
 from repro.sim.sync import Gate
-from repro.sim.trace import Counter
+from repro.telemetry import Counter
 
 
 @dataclass(frozen=True)

@@ -17,6 +17,7 @@ from repro.nvme.driver import NvmeDriver
 from repro.nvme.flash import load_array, read_array
 from repro.sim.engine import Simulator
 from repro.sim.trace import TraceRecorder
+from repro import telemetry as telemetry_mod
 
 
 class BamHost:
@@ -35,11 +36,13 @@ class BamHost:
         num_cache_lines: Optional[int] = None,
         debug_locks: bool = True,
         hbm_capacity: Optional[int] = None,
+        telemetry: Optional[bool] = None,
     ):
         self.cfg = cfg if cfg is not None else SystemConfig()
         self.cfg.validate()
         self.sim = Simulator()
         self.trace = TraceRecorder()
+        self.trace.set_clock(lambda: self.sim.now)
         capacity = hbm_capacity
         if capacity is None:
             capacity = self.cfg.cache.capacity_bytes + (64 << 20)
@@ -66,6 +69,47 @@ class BamHost:
             num_lines=num_cache_lines,
             debugger=self.debugger,
             stats=self.trace.group("bam"),
+        )
+        #: Same telemetry contract as :class:`AgileHost` (True/False/None);
+        #: BaM runs only wire the shared GPU/NVMe/mem instrumentation.
+        self.telemetry: Optional[telemetry_mod.Telemetry] = None
+        if telemetry is True:
+            self.telemetry = (
+                telemetry_mod.maybe_create(self.sim, registry=self.trace)
+                or telemetry_mod.Telemetry(self.sim, registry=self.trace)
+            )
+        elif telemetry is None:
+            self.telemetry = telemetry_mod.maybe_create(
+                self.sim, registry=self.trace
+            )
+        if self.telemetry is not None:
+            tel = self.telemetry
+            self.sim.telemetry = tel
+            self.gpu.tel = tel
+            for ssd in self.ssds:
+                ssd.tel = tel
+            for si, qps in enumerate(self.queue_pairs):
+                for qp in qps:
+                    qp.sq.occupancy = tel.sampled_gauge(
+                        f"nvme.s{si}.sq{qp.qid}.occupancy",
+                        "nvme", f"s{si}.sq{qp.qid}",
+                    )
+                    qp.cq.occupancy = tel.sampled_gauge(
+                        f"nvme.s{si}.cq{qp.qid}.occupancy",
+                        "nvme", f"s{si}.cq{qp.qid}",
+                    )
+                    qp.sq.doorbell.tel = tel
+                    qp.cq.doorbell.tel = tel
+        self.trace.register_collector(
+            "sim",
+            lambda: {"now": self.sim.now, "event_count": self.sim.event_count},
+        )
+        self.trace.register_collector(
+            "devices",
+            lambda: {
+                f"ssd{i}": st
+                for i, st in enumerate(self.driver.device_stats())
+            },
         )
 
     # -- data staging ------------------------------------------------------------

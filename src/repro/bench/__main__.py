@@ -8,6 +8,12 @@ Usage::
     python -m repro.bench perf            # scheduler throughput smoke
     python -m repro.bench perf --min-eps 60000   # fail below the floor
     python -m repro.bench export --out BENCH.json   # CI trend artifact
+    python -m repro.bench --trace out.json fig4     # + Perfetto timeline
+
+``--trace FILE`` works with any target: every host built during the run
+records telemetry (spans, counters, occupancy series) and the merged
+Chrome-trace document is written to FILE — load it at
+https://ui.perfetto.dev or chrome://tracing.
 """
 
 from __future__ import annotations
@@ -93,7 +99,8 @@ def export(argv: list[str]) -> int:
     table = []
     for num_ssds, total_requests in table_points:
         point = run_bandwidth_sweep(
-            "read", num_ssds=num_ssds, total_requests=total_requests
+            "read", num_ssds=num_ssds, total_requests=total_requests,
+            telemetry=True,
         )
         table.append(
             {
@@ -104,6 +111,7 @@ def export(argv: list[str]) -> int:
                 "bandwidth_gbps": point.bandwidth_gbps,
                 "sim_events": point.sim_events,
                 "device_errors": point.device_errors,
+                "telemetry": point.telemetry,
             }
         )
 
@@ -138,7 +146,7 @@ def export(argv: list[str]) -> int:
     return 0
 
 
-def main(argv: list[str]) -> int:
+def _dispatch(argv: list[str]) -> int:
     registry = {**ALL_FIGURES, **{f"abl_{k}": v for k, v in ALL_ABLATIONS.items()}}
     if argv and argv[0] == "perf":
         return perf(argv[1:])
@@ -151,6 +159,7 @@ def main(argv: list[str]) -> int:
         print("  all")
         print("  perf [--min-eps N] [--requests N] [--threads N]")
         print("  export [--out FILE] [--quick]")
+        print("  --trace FILE <target>   (Chrome-trace timeline of the run)")
         return 0
     targets = list(registry) if argv == ["all"] else argv
     unknown = [t for t in targets if t not in registry]
@@ -162,6 +171,37 @@ def main(argv: list[str]) -> int:
         registry[name]().show()
         print(f"[{name} regenerated in {time.time() - start:.1f}s]\n")
     return 0
+
+
+def main(argv: list[str]) -> int:
+    argv = list(argv)
+    trace_out = None
+    if "--trace" in argv:
+        i = argv.index("--trace")
+        rest = argv[i + 1 : i + 2]
+        if not rest or rest[0].startswith("-"):
+            print("--trace requires an output path", file=sys.stderr)
+            return 2
+        trace_out = rest[0]
+        del argv[i : i + 2]
+    if trace_out is None:
+        return _dispatch(argv)
+
+    from repro import telemetry
+
+    with telemetry.capture() as cap:
+        rc = _dispatch(argv)
+    if not cap.sessions:
+        print("trace: no telemetry sessions recorded", file=sys.stderr)
+        return rc
+    doc = cap.chrome_trace()
+    telemetry.export.write_chrome_trace(trace_out, doc)
+    print(
+        f"trace: wrote {trace_out} "
+        f"({doc['otherData']['recorded_events']} events from "
+        f"{len(cap.sessions)} run(s))"
+    )
+    return rc
 
 
 if __name__ == "__main__":

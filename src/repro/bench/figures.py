@@ -466,7 +466,7 @@ def abl_dram_tier(data_pages: int = 1024) -> FigureResult:
             host.drain()
         label = "hbm+dram tier" if tier_lines else "hbm only"
         rows.append([label, total / 1e3,
-                     host.cache.stats["dram_tier_hits"]])
+                     host.stats()["cache"].get("dram_tier_hits", 0.0)])
         metrics[f"total_{'tier' if tier_lines else 'plain'}"] = total
     metrics["tier_speedup"] = (
         metrics["total_plain"] / metrics["total_tier"]

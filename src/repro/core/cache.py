@@ -40,7 +40,7 @@ from repro.mem.hbm import Hbm
 from repro.nvme.command import NvmeCompletion, Opcode
 from repro.sim.engine import SimError, Simulator, Timeout
 from repro.sim.sync import Gate
-from repro.sim.trace import Counter
+from repro.telemetry import Counter
 
 
 class LineState(enum.Enum):
@@ -164,6 +164,9 @@ class SoftwareCache:
         ]
         #: Optional :class:`~repro.sim.trace.EventLog` for protocol events.
         self.log = None
+        #: Optional :class:`repro.telemetry.Telemetry` session (fill spans
+        #: and stall attribution); None costs one check per slow path.
+        self.tel = None
 
     # -- state transitions ---------------------------------------------------------
 
@@ -259,6 +262,8 @@ class SoftwareCache:
                         # small-cache regime) retries would otherwise storm.
                         self.stats.add("victim_stalls")
                         lock.release(chain)
+                        if self.tel is not None:
+                            self.tel.stall_ns.add("victim_wait", backoff)
                         yield Timeout(backoff)
                         backoff = min(backoff * 2, self.MAX_BACKOFF_NS)
                         continue
@@ -280,7 +285,12 @@ class SoftwareCache:
                 if not wait:
                     return line
                 gate = line.ready_gate
-                yield from gate.wait()
+                if self.tel is not None:
+                    wait_t0 = self.sim.now
+                    yield from gate.wait()
+                    self.tel.stall_ns.add("fill_wait", self.sim.now - wait_t0)
+                else:
+                    yield from gate.wait()
                 if not (line.valid and line.ready_gate is gate):
                     # The fill failed: ``_finish_fill`` recycled the line to
                     # INVALID and wiped every pin (ours included — do NOT
@@ -358,6 +368,8 @@ class SoftwareCache:
     ) -> Generator[Any, Any, None]:
         """Issue the eviction write-back (if any) and the fill for a freshly
         claimed BUSY line.  Runs outside the set lock."""
+        tel = self.tel
+        fill_t0 = self.sim.now if tel is not None else 0.0
         if self.policy.decision_cycles:
             yield from tc.compute(self.policy.decision_cycles)
         yield from tc.compute(self.api.cache_insert_cycles)
@@ -375,6 +387,11 @@ class SoftwareCache:
                 yield from tc.hbm_store(cached.size)
                 line.buffer[:] = cached
                 self._finish_fill(line, tag)
+                if tel is not None:
+                    tel.spans.complete(
+                        "fill.dram_tier", "core", "cache", fill_t0,
+                        ssd=tag[0], lba=tag[1],
+                    )
                 return
 
         txn = yield from self.issue.submit(
@@ -382,7 +399,20 @@ class SoftwareCache:
         )
         # The service invokes on_complete(completion); the line/tag context
         # rides in the partial instead of a per-fill closure.
-        txn.on_complete = partial(self._finish_fill, line, tag)
+        if tel is None:
+            txn.on_complete = partial(self._finish_fill, line, tag)
+        else:
+            spans = tel.spans
+
+            def _traced_fill(completion=None, _line=line, _tag=tag):
+                self._finish_fill(_line, _tag, completion)
+                spans.complete(
+                    "fill", "core", "cache", fill_t0, ssd=_tag[0],
+                    lba=_tag[1],
+                    ok=completion is None or completion.ok,
+                )
+
+            txn.on_complete = _traced_fill
 
     def _finish_fill(
         self,

@@ -33,7 +33,7 @@ from repro.gpu.thread import ThreadContext
 from repro.gpu.warp import NOT_PARTICIPATING
 from repro.nvme.command import Opcode
 from repro.sim.engine import SimError, Simulator
-from repro.sim.trace import Counter
+from repro.telemetry import Counter
 
 
 @dataclass

@@ -38,6 +38,7 @@ from repro.nvme.flash import load_array, read_array
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngStreams
 from repro.sim.trace import TraceRecorder
+from repro import telemetry as telemetry_mod
 
 
 class AgileHost:
@@ -52,12 +53,14 @@ class AgileHost:
         debug_locks: bool = True,
         hbm_capacity: Optional[int] = None,
         watchdog_ns: float = 0.0,
+        telemetry: Optional[bool] = None,
     ):
         self.cfg = cfg if cfg is not None else SystemConfig()
         self.cfg.validate()
         self.sim = Simulator(watchdog_ns=watchdog_ns)
         self.rng = RngStreams(self.cfg.seed)
         self.trace = TraceRecorder()
+        self.trace.set_clock(lambda: self.sim.now)
         capacity = hbm_capacity
         if capacity is None:
             capacity = self.cfg.cache.capacity_bytes + (64 << 20)
@@ -154,6 +157,126 @@ class AgileHost:
         #: Populated by ``repro.analysis.attach`` (directly, or via the
         #: ``--agile-checks`` pytest flag / ``analysis_hooks.enable()``).
         self.analysis = analysis_hooks.maybe_attach(self)
+        #: The unified telemetry session: ``telemetry=True`` forces one on,
+        #: ``False`` forces it off, and ``None`` (default) defers to a
+        #: global :func:`repro.telemetry.capture` block.  Recording is
+        #: passive, so enabled runs stay bit-identical to disabled ones.
+        self.telemetry: Optional[telemetry_mod.Telemetry] = None
+        if telemetry is True:
+            self.telemetry = (
+                telemetry_mod.maybe_create(self.sim, registry=self.trace)
+                or telemetry_mod.Telemetry(self.sim, registry=self.trace)
+            )
+        elif telemetry is None:
+            self.telemetry = telemetry_mod.maybe_create(
+                self.sim, registry=self.trace
+            )
+        if self.telemetry is not None:
+            self._wire_telemetry()
+        self._register_collectors()
+
+    # -- telemetry wiring (host side, no simulated time) ----------------------
+
+    def _wire_telemetry(self) -> None:
+        """Hand the session to every instrumented model object and create
+        the typed per-component instruments (occupancy gauges, fetch-batch
+        histograms, DMA/HBM byte counters)."""
+        tel = self.telemetry
+        reg = tel.registry
+        self.sim.telemetry = tel
+        self.gpu.tel = tel
+        self.issue.tel = tel
+        self.cache.tel = tel
+        self.service.tel = tel
+        self.gpu.hbm.traffic = reg.counter(
+            "mem.hbm.traffic",
+            description="HBM bytes moved by direction",
+            labels=("load_bytes", "store_bytes"),
+        )
+        for ssd in self.ssds:
+            ssd.tel = tel
+            ssd.fetch_batch = reg.histogram(
+                f"nvme.ssd{ssd.index}.fetch_batch",
+                description="SQEs fetched per doorbell-triggered DMA burst",
+                buckets=(1, 2, 4, 8, 16),
+            )
+            ssd.link.dma_bytes = reg.counter(
+                f"mem.ssd{ssd.index}.pcie.dma_bytes",
+                description="SSD-link DMA payload bytes by direction",
+                labels=("read", "write"),
+            )
+        for si, qps in enumerate(self.queue_pairs):
+            for qp in qps:
+                qp.sq.occupancy = tel.sampled_gauge(
+                    f"nvme.s{si}.sq{qp.qid}.occupancy",
+                    "nvme", f"s{si}.sq{qp.qid}",
+                    description="outstanding SQEs",
+                )
+                qp.cq.occupancy = tel.sampled_gauge(
+                    f"nvme.s{si}.cq{qp.qid}.occupancy",
+                    "nvme", f"s{si}.cq{qp.qid}",
+                    description="posted, unconsumed CQEs",
+                )
+                qp.sq.doorbell.tel = tel
+                qp.cq.doorbell.tel = tel
+
+    def _register_collectors(self) -> None:
+        """Register pull collectors for accounting that already lives on
+        model objects.  Always on: collectors run only at snapshot time, so
+        they cost nothing during the simulation."""
+        reg = self.trace
+        sim = self.sim
+        gpu = self.gpu
+        reg.register_collector(
+            "sim", lambda: {"now": sim.now, "event_count": sim.event_count}
+        )
+        reg.register_collector(
+            "devices",
+            lambda: {
+                f"ssd{i}": st
+                for i, st in enumerate(self.driver.device_stats())
+            },
+        )
+        reg.register_collector(
+            "flash_channel_busy_ns",
+            lambda: {
+                f"ssd{ssd.index}.ch{ci}": ch.busy_time
+                for ssd in self.ssds
+                for ci, ch in enumerate(ssd.flash._channels)
+            },
+        )
+        reg.register_collector(
+            "link_bytes",
+            lambda: {
+                **{
+                    f"ssd{ssd.index}.pcie.{direction}": pipe.bytes_moved
+                    for ssd in self.ssds
+                    for direction, pipe in (
+                        ("up", ssd.link.upstream),
+                        ("down", ssd.link.downstream),
+                    )
+                },
+                "gpu.pcie": gpu.pcie_pipe.bytes_moved,
+            },
+        )
+        reg.register_collector(
+            "hbm",
+            lambda: {
+                "loads": gpu.hbm.loads,
+                "stores": gpu.hbm.stores,
+                "atomics": gpu.hbm.atomics,
+                "utilization": gpu.hbm.utilization(),
+            },
+        )
+        reg.register_collector(
+            "sm_thread_cycles",
+            lambda: {
+                f"sm{sm.index}": sm.issued_thread_cycles() for sm in gpu.sms
+            },
+        )
+        reg.register_collector(
+            "inflight", lambda: {"cids": self.issue.inflight()}
+        )
 
     # -- data staging (host side, no simulated time) -------------------------
 

@@ -33,7 +33,7 @@ from repro.nvme.command import SQE_SIZE, NvmeCommand, Opcode
 from repro.nvme.device import SsdController
 from repro.nvme.queue import QueuePair, SlotState
 from repro.sim.engine import SimError, Simulator, Timeout
-from repro.sim.trace import Counter
+from repro.telemetry import Counter
 
 
 class AgileIoError(SimError):
@@ -112,6 +112,9 @@ class IssueEngine:
         #: None, completion handling stays strict (unknown CID = protocol
         #: bug) and submissions carry no deadline.
         self.recovery = None
+        #: Optional :class:`repro.telemetry.Telemetry` session (stall
+        #: attribution); None — the default — costs one check per backoff.
+        self.tel = None
 
     # -- public API ----------------------------------------------------------
 
@@ -159,6 +162,8 @@ class IssueEngine:
                 # All SQs full: wait (with exponential back-off) for the
                 # service to recycle entries — the Fig. 9 single-QP stall.
                 self.stats.add("sq_full_backoffs")
+                if self.tel is not None:
+                    self.tel.stall_ns.add("sq_full", backoff)
                 yield Timeout(backoff)
                 backoff = min(backoff * 2, self.MAX_BACKOFF_NS)
         slot, cid = reservation
@@ -201,6 +206,8 @@ class IssueEngine:
                 self.stats.add("doorbell_contended")
             if qp.sq.state[slot] is SlotState.ISSUED:
                 return txn
+            if self.tel is not None:
+                self.tel.stall_ns.add("doorbell", self.DOORBELL_BACKOFF_NS)
             yield Timeout(self.DOORBELL_BACKOFF_NS)
 
     # -- service-side hooks --------------------------------------------------------

@@ -44,7 +44,7 @@ from repro.core.locks import AgileLockChain
 from repro.nvme.command import NvmeCommand, NvmeCompletion, Status
 from repro.nvme.queue import SlotState
 from repro.sim.engine import Process, Simulator, Timeout
-from repro.sim.trace import Counter
+from repro.telemetry import Counter
 
 
 @dataclass

@@ -35,7 +35,7 @@ from repro.core.issue import IssueEngine
 from repro.gpu.device import Gpu
 from repro.nvme.queue import CompletionQueue
 from repro.sim.engine import Process, Simulator, Timeout
-from repro.sim.trace import Counter
+from repro.telemetry import Counter
 
 #: Lanes in a polling warp == CQEs examined per visit (Algorithm 1).
 WINDOW = 32
@@ -69,6 +69,9 @@ class AgileService:
         #: The service runs on the last SM (reserved by the host when
         #: launching application kernels).
         self.service_sm = gpu.sms[-1]
+        #: Optional :class:`repro.telemetry.Telemetry` session (per-command
+        #: I/O spans); None — the default — costs one check per completion.
+        self.tel = None
 
     # -- lifecycle --------------------------------------------------------------
 
@@ -163,6 +166,13 @@ class AgileService:
                 if not completion.ok:
                     self.stats.add("error_completions")
                 record.txn.finish(completion)
+                if self.tel is not None:
+                    self.tel.spans.complete(
+                        f"io.{record.opcode.name.lower()}", "core",
+                        record.label, record.issued_at, ssd=record.ssd_idx,
+                        lba=record.lba, cid=completion.cid,
+                        ok=completion.ok, retries=record.retries,
+                    )
             else:
                 # Stale: the late/duplicate CQE of an aborted or already
                 # retired incarnation (recovery mode only) — consume it.

@@ -36,7 +36,7 @@ from repro.core.buffers import AgileBuf
 from repro.core.cache import LineState, SoftwareCache
 from repro.gpu.thread import ThreadContext
 from repro.sim.engine import SimError, Simulator
-from repro.sim.trace import Counter
+from repro.telemetry import Counter
 
 
 class BufState(enum.Enum):

@@ -29,7 +29,7 @@ from typing import Optional
 from repro.config import FaultConfig
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngStreams
-from repro.sim.trace import Counter
+from repro.telemetry import Counter
 
 
 class FaultInjector:

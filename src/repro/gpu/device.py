@@ -32,6 +32,8 @@ class KernelLaunch:
         self.end_time: Optional[float] = None
         self.done = Event(sim, name=f"launch.{kernel.name}.done")
         self.thread_procs: list[Process] = []
+        #: Optional :class:`repro.telemetry.Telemetry` session (kernel span).
+        self.tel = None
 
     @property
     def duration(self) -> float:
@@ -41,6 +43,13 @@ class KernelLaunch:
 
     def _finish(self) -> None:
         self.end_time = self.sim.now
+        if self.tel is not None:
+            self.tel.spans.complete(
+                f"kernel.{self.kernel.name}", "gpu", "kernels",
+                self.start_time, self.end_time,
+                grid_dim=self.launch_cfg.grid_dim,
+                block_dim=self.launch_cfg.block_dim,
+            )
         self.done.trigger(self)
 
 
@@ -60,6 +69,9 @@ class Gpu:
         )
         self._next_tid = 0
         self._next_warp = 0
+        #: Optional :class:`repro.telemetry.Telemetry` session; propagated
+        #: to launches and warps when set (None by default).
+        self.tel = None
 
     # -- kernel dispatch ---------------------------------------------------------
 
@@ -81,6 +93,7 @@ class Gpu:
             raise ValueError("no SMs left for the kernel after reservation")
         occ = occupancy(self.cfg, kernel, cfg.block_dim)
         launch = KernelLaunch(self.sim, kernel, cfg)
+        launch.tel = self.tel
         slots = Semaphore(
             self.sim, occ.blocks_per_sm * len(sms), name=f"{kernel.name}.slots"
         )
@@ -127,6 +140,8 @@ class Gpu:
             if lane == 0:
                 self._next_warp += 1
                 warp = Warp(self.sim, self._next_warp)
+                if self.tel is not None:
+                    warp.stall_ns = self.tel.stall_ns
             tid = self._next_tid
             self._next_tid += 1
             tc = ThreadContext(self, sm, warp, tid, block_id, lane)

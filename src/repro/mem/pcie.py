@@ -33,6 +33,9 @@ class PcieLink:
         #: Armed by the host when the fault plan is active
         #: (:class:`repro.faults.FaultInjector`); None costs nothing.
         self.injector = None
+        #: Optional :class:`repro.telemetry.Counter` of DMA payload bytes
+        #: by direction; None — the default — costs one check per DMA.
+        self.dma_bytes = None
 
     def dma_read(self, nbytes: int) -> Generator[Any, Any, None]:
         """Device reads ``nbytes`` from the far side (request + data).
@@ -43,6 +46,8 @@ class PcieLink:
             stall = self.injector.pcie_stall_ns(self.name)
             if stall > 0.0:
                 yield Timeout(stall)
+        if self.dma_bytes is not None:
+            self.dma_bytes.add("read", nbytes)
         yield Timeout(self.cfg.latency_ns)
         yield from self.upstream.transfer(nbytes)
 
@@ -52,6 +57,8 @@ class PcieLink:
             stall = self.injector.pcie_stall_ns(self.name)
             if stall > 0.0:
                 yield Timeout(stall)
+        if self.dma_bytes is not None:
+            self.dma_bytes.add("write", nbytes)
         yield from self.downstream.transfer(nbytes)
 
 
@@ -82,11 +89,15 @@ class Doorbell:
         self.rings = 0
         #: Optional :class:`~repro.sim.trace.EventLog` for protocol events.
         self.log = None
+        #: Optional :class:`repro.telemetry.Telemetry` session (ring instants).
+        self.tel = None
 
     def ring(self, value: int) -> Generator[Any, Any, None]:
         """GPU-side posted MMIO write of ``value``."""
         self.rings += 1
         self.written_value = value
+        if self.tel is not None:
+            self.tel.spans.instant("ring", "mem", self.name, value=value)
         if self.log is not None:
             self.log.emit("mmio.ring", src=self, name=self.name, value=value)
         yield Timeout(self.cfg.mmio_write_ns)

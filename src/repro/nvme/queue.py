@@ -68,6 +68,12 @@ class SubmissionQueue:
         #: Monotonic device-side fetch pointer.
         self.fetch_head = 0
         self.submitted = 0
+        #: Monotonic count of slots returned to EMPTY (occupancy is
+        #: ``alloc_tail - released`` without scanning the ring).
+        self.released = 0
+        #: Optional :class:`repro.telemetry.Gauge` (occupancy timeline);
+        #: None — the default — costs one attribute check per transition.
+        self.occupancy = None
 
     # -- producer (GPU) side --------------------------------------------------
 
@@ -85,6 +91,8 @@ class SubmissionQueue:
             return None
         self.state[slot] = SlotState.RESERVED
         self.alloc_tail += 1
+        if self.occupancy is not None:
+            self.occupancy.set(self.alloc_tail - self.released)
         if self.log is not None:
             self.log.emit(
                 "sq.reserve", src=self, qid=self.qid, slot=slot, cid=slot,
@@ -135,6 +143,9 @@ class SubmissionQueue:
             )
         self.entries[slot] = None
         self.state[slot] = SlotState.EMPTY
+        self.released += 1
+        if self.occupancy is not None:
+            self.occupancy.set(self.alloc_tail - self.released)
         if self.log is not None:
             self.log.emit("sq.release", src=self, qid=self.qid, slot=slot)
 
@@ -216,6 +227,8 @@ class CompletionQueue:
         self.posted = 0
         #: Optional :class:`~repro.sim.trace.EventLog` for protocol events.
         self.log = None
+        #: Optional :class:`repro.telemetry.Gauge` (occupancy timeline).
+        self.occupancy = None
 
     # -- device side -------------------------------------------------------------
 
@@ -254,6 +267,8 @@ class CompletionQueue:
             )
         self.device_tail += 1
         self.posted += 1
+        if self.occupancy is not None:
+            self.occupancy.set(self.device_tail - self.host_head)
 
     def add_space_waiter(self, callback: Callable[[], None]) -> None:
         """Device-side callback invoked when the host frees CQ space."""
@@ -289,6 +304,8 @@ class CompletionQueue:
                 f"[{self.host_head}, {self.device_tail}]"
             )
         self.host_head = pos
+        if self.occupancy is not None:
+            self.occupancy.set(self.device_tail - self.host_head)
         if self.log is not None:
             self.log.emit("cq.consume", src=self, qid=self.qid, pos=pos)
 

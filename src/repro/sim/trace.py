@@ -1,83 +1,36 @@
-"""Lightweight instrumentation: counters, time-weighted statistics, and the
-structured protocol event log.
+"""The structured protocol event log, plus back-compat re-exports of the
+metric types that moved to :mod:`repro.telemetry`.
 
-The benchmark harness reads the counters to decompose execution time the
-same way the paper's Figure 11 does (kernel time vs. cache-API time vs.
-I/O-API time).  The :class:`EventLog` is the substrate of the
-:mod:`repro.analysis` layer: models emit protocol-level events (queue slot
-transitions, doorbell rings, lock operations, cache-line state changes)
-into an attached log, where runtime invariant checkers subscribe and
-offline analyzers replay the recorded stream after the run.
+Counters, gauges, and the registry now live in the telemetry spine
+(:mod:`repro.telemetry`); :class:`Counter`, :class:`TimeWeightedStat`, and
+:class:`TraceRecorder` are kept importable from here so existing call
+sites and downstream users keep working — ``TraceRecorder`` is the
+registry itself, restricted to the historical counters-only ``snapshot()``
+shape that ``host.stats()`` guarantees.
+
+The :class:`EventLog` remains the substrate of the :mod:`repro.analysis`
+layer: models emit protocol-level events (queue slot transitions, doorbell
+rings, lock operations, cache-line state changes) into an attached log,
+where runtime invariant checkers subscribe and offline analyzers replay
+the recorded stream after the run.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict, deque
+from collections import deque
 from typing import Any, Callable, Dict, Iterator, Optional
 
 from repro.sim.engine import Simulator
+from repro.telemetry.metrics import Counter, TimeWeightedStat
+from repro.telemetry.registry import MetricRegistry
 
-
-class Counter:
-    """A bag of named monotonically increasing counters."""
-
-    def __init__(self) -> None:
-        self._values: Dict[str, float] = defaultdict(float)
-
-    def add(self, name: str, amount: float = 1.0) -> None:
-        self._values[name] += amount
-
-    def get(self, name: str, default: float = 0.0) -> float:
-        return self._values.get(name, default)
-
-    def snapshot(self) -> Dict[str, float]:
-        return dict(self._values)
-
-    def reset(self) -> None:
-        self._values.clear()
-
-    def __getitem__(self, name: str) -> float:
-        return self.get(name)
-
-
-class TimeWeightedStat:
-    """Integrates a piecewise-constant value over simulated time.
-
-    ``mean()`` gives the time-average — used for average queue occupancy and
-    cache residency statistics.
-    """
-
-    def __init__(self, sim: Simulator, initial: float = 0.0):
-        self.sim = sim
-        self._value = initial
-        self._last_t = sim.now
-        self._area = 0.0
-        self._max = initial
-
-    @property
-    def value(self) -> float:
-        return self._value
-
-    def set(self, value: float) -> None:
-        now = self.sim.now
-        self._area += self._value * (now - self._last_t)
-        self._last_t = now
-        self._value = value
-        if value > self._max:
-            self._max = value
-
-    def add(self, delta: float) -> None:
-        self.set(self._value + delta)
-
-    def mean(self) -> float:
-        now = self.sim.now
-        total = self._area + self._value * (now - self._last_t)
-        if now <= 0:
-            return self._value
-        return total / now
-
-    def maximum(self) -> float:
-        return self._max
+__all__ = [
+    "Counter",
+    "EventLog",
+    "TimeWeightedStat",
+    "TraceEvent",
+    "TraceRecorder",
+]
 
 
 class TraceEvent:
@@ -143,22 +96,22 @@ class EventLog:
         return len(self._records)
 
 
-class TraceRecorder:
-    """Central registry of counters grouped by component name."""
+class TraceRecorder(MetricRegistry):
+    """The host's metric registry, with the historical counters-only API.
 
-    def __init__(self) -> None:
-        self._groups: Dict[str, Counter] = {}
+    ``group(name)`` is ``counter(name)`` with an open label set, and
+    ``snapshot()`` keeps the pre-telemetry ``{group: {key: value}}`` shape
+    that ``host.stats()`` and the workloads/benchmarks rely on.  The full
+    typed surface (gauges, histograms, pull collectors,
+    ``full_snapshot()``) is inherited from
+    :class:`repro.telemetry.MetricRegistry`.
+    """
 
     def group(self, name: str) -> Counter:
-        counter = self._groups.get(name)
-        if counter is None:
-            counter = Counter()
-            self._groups[name] = counter
-        return counter
+        return self.counter(name)
 
     def snapshot(self) -> Dict[str, Dict[str, float]]:
-        return {name: c.snapshot() for name, c in self._groups.items()}
+        return self.counters_snapshot()
 
-    def reset(self) -> None:
-        for counter in self._groups.values():
-            counter.reset()
+    def full_snapshot(self) -> Dict[str, Any]:
+        return MetricRegistry.snapshot(self)

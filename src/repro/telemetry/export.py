@@ -1,0 +1,119 @@
+"""Exporters: Chrome Trace Event JSON and flat snapshot documents.
+
+``chrome_trace`` emits the JSON object format understood by
+``chrome://tracing`` and Perfetto (https://ui.perfetto.dev): one metadata
+block naming a "process" per modelled layer (gpu / nvme / mem / core /
+sim) and a "thread" per component track, followed by the recorded
+``X``/``i``/``C`` events.  Timestamps convert from simulated nanoseconds
+to the format's microseconds, with ``displayTimeUnit: "ns"`` so the UI
+shows nanosecond precision.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.telemetry.spans import SpanRecorder
+
+#: Stable process ids per layer so multi-run merges stay readable.
+_LAYER_ORDER = ("sim", "gpu", "nvme", "mem", "core", "bench")
+
+
+def _layer_pid(layer: str, table: Dict[str, int]) -> int:
+    pid = table.get(layer)
+    if pid is None:
+        pid = len(table) + 1
+        table[layer] = pid
+    return pid
+
+
+def chrome_trace_events(
+    spans: SpanRecorder,
+    pid_prefix: str = "",
+    pid_table: Optional[Dict[str, int]] = None,
+    tid_table: Optional[Dict[Tuple[int, str], int]] = None,
+) -> List[dict]:
+    """Convert one recorder's records into Chrome trace events.
+
+    ``pid_prefix`` namespaces layers when merging several runs into one
+    trace file (``run0.nvme``, ``run1.nvme``, ...).
+    """
+    pids = pid_table if pid_table is not None else {}
+    tids = tid_table if tid_table is not None else {}
+    for layer in _LAYER_ORDER:
+        _layer_pid(pid_prefix + layer, pids)
+    events: List[dict] = []
+    named_pids: set[int] = set()
+    for rec in spans.records:
+        phase, t0, t1, name, layer, track, args = rec
+        pid = _layer_pid(pid_prefix + layer, pids)
+        tid_key = (pid, track)
+        tid = tids.get(tid_key)
+        if tid is None:
+            tid = len([k for k in tids if k[0] == pid]) + 1
+            tids[tid_key] = tid
+            events.append(
+                {
+                    "ph": "M", "name": "thread_name", "pid": pid, "tid": tid,
+                    "args": {"name": track},
+                }
+            )
+        if pid not in named_pids:
+            named_pids.add(pid)
+            events.append(
+                {
+                    "ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+                    "args": {"name": pid_prefix + layer},
+                }
+            )
+        event: dict = {
+            "ph": phase,
+            "ts": t0 / 1000.0,  # simulated ns -> format µs
+            "pid": pid,
+            "tid": tid,
+            "name": name,
+            "cat": layer,
+        }
+        if phase == "X":
+            event["dur"] = ((t1 if t1 is not None else t0) - t0) / 1000.0
+        elif phase == "i":
+            event["s"] = "t"  # thread-scoped instant
+        if args:
+            event["args"] = args
+        events.append(event)
+    return events
+
+
+def chrome_trace(
+    recorders: Sequence[Tuple[str, SpanRecorder]],
+    metadata: Optional[dict] = None,
+) -> dict:
+    """Build the full Chrome trace document from ``(prefix, recorder)``
+    pairs (a single run passes one pair with an empty prefix)."""
+    pids: Dict[str, int] = {}
+    tids: Dict[Tuple[int, str], int] = {}
+    events: List[dict] = []
+    dropped = 0
+    for prefix, rec in recorders:
+        events.extend(
+            chrome_trace_events(rec, pid_prefix=prefix, pid_table=pids,
+                                tid_table=tids)
+        )
+        dropped += rec.dropped
+    other = dict(metadata or {})
+    other["recorded_events"] = sum(len(r) for _, r in recorders)
+    if dropped:
+        # Never let a truncated trace read as complete.
+        other["dropped_events"] = dropped
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ns",
+        "otherData": other,
+    }
+
+
+def write_chrome_trace(path: str, document: dict) -> None:
+    with open(path, "w") as fh:
+        json.dump(document, fh)
+        fh.write("\n")

@@ -11,7 +11,7 @@ requests to keep every flash channel busy.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Literal
+from typing import List, Literal, Optional
 
 import numpy as np
 
@@ -35,6 +35,9 @@ class SweepPoint:
     #: must report zero; the bench trend artifact records it so silent
     #: error-path regressions show up in CI history.
     device_errors: int = 0
+    #: Telemetry snapshot (:meth:`repro.telemetry.Telemetry.snapshot`) when
+    #: the point ran with telemetry enabled; the bench export embeds it.
+    telemetry: Optional[dict] = None
 
     @property
     def bandwidth_gbps(self) -> float:
@@ -86,11 +89,20 @@ def run_bandwidth_sweep(
     total_requests: int,
     num_threads: int = 256,
     inflight_per_thread: int = 8,
+    telemetry: bool = False,
 ) -> SweepPoint:
-    """One point of Fig. 5 (op='read') / Fig. 6 (op='write')."""
+    """One point of Fig. 5 (op='read') / Fig. 6 (op='write').
+
+    ``telemetry=True`` forces a telemetry session on the host (the point's
+    snapshot lands in :attr:`SweepPoint.telemetry`); the default defers to
+    any active :func:`repro.telemetry.capture` block, e.g. the bench CLI's
+    ``--trace`` flag.
+    """
     if op not in ("read", "write"):
         raise ValueError(f"op must be 'read' or 'write', got {op!r}")
-    host = AgileHost(_sweep_config(num_ssds))
+    host = AgileHost(
+        _sweep_config(num_ssds), telemetry=True if telemetry else None
+    )
     threads = min(num_threads, total_requests)
     requests_per_thread = max(1, total_requests // threads)
     bufs = [host.alloc_view(4096) for _ in range(threads)]
@@ -121,6 +133,9 @@ def run_bandwidth_sweep(
         bytes_moved=moved,
         sim_events=host.sim.event_count,
         device_errors=host.driver.total_errors(),
+        telemetry=(
+            host.telemetry.snapshot() if host.telemetry is not None else None
+        ),
     )
 
 

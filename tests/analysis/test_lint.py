@@ -168,6 +168,62 @@ class TestSchedulerInternals:
         assert lint_paths([str(f)]) == []
 
 
+class TestStatsDict:
+    def test_subscript_mutation_of_stats_dict_fires(self, tmp_path):
+        src = (
+            "class Cache:\n"
+            "    def hit(self):\n"
+            "        self.stats['hits'] += 1\n"
+        )
+        v = run_lint(tmp_path, src)
+        assert codes(v) == ["AGL007"]
+        assert "telemetry" in v[0].message
+
+    def test_plain_assignment_into_counters_dict_fires(self, tmp_path):
+        v = run_lint(
+            tmp_path, "def f(counters, k):\n    counters[k] = 0\n"
+        )
+        assert codes(v) == ["AGL007"]
+
+    def test_dict_literal_bound_to_stats_name_fires(self, tmp_path):
+        src = (
+            "class Engine:\n"
+            "    def __init__(self):\n"
+            "        self._stats = {'submitted': 0}\n"
+        )
+        assert codes(run_lint(tmp_path, src)) == ["AGL007"]
+
+    def test_defaultdict_bound_to_stats_name_fires(self, tmp_path):
+        src = (
+            "import collections\n"
+            "def f():\n"
+            "    stats = collections.defaultdict(float)\n"
+            "    return stats\n"
+        )
+        assert codes(run_lint(tmp_path, src)) == ["AGL007"]
+
+    def test_typed_counter_assignment_is_fine(self, tmp_path):
+        src = (
+            "from repro.telemetry import Counter\n"
+            "class Engine:\n"
+            "    def __init__(self, stats=None):\n"
+            "        self.stats = stats if stats is not None else Counter()\n"
+            "        self.stats.add('submitted')\n"
+        )
+        assert run_lint(tmp_path, src) == []
+
+    def test_unrelated_dict_names_are_fine(self, tmp_path):
+        src = "def f(cache, k):\n    cache[k] = 1\n    table = {'a': 1}\n"
+        assert run_lint(tmp_path, src) == []
+
+    def test_telemetry_package_is_exempt(self, tmp_path):
+        teldir = tmp_path / "telemetry"
+        teldir.mkdir()
+        f = teldir / "metrics.py"
+        f.write_text("def f(self, k):\n    self._counters[k] = 0.0\n")
+        assert lint_paths([str(f)]) == []
+
+
 class TestCli:
     def test_main_exit_codes(self, tmp_path, capsys):
         dirty = tmp_path / "dirty.py"
