@@ -34,6 +34,12 @@ know about; this one enforces the repository's:
   (``Counter.add`` / ``Gauge.set`` / ``Histogram.observe``) so the unified
   registry stays the single source of truth for ``stats()`` snapshots,
   bench exports, and the Chrome-trace exporters.
+- **AGL008** — serving-request terminal states (``COMPLETED`` / ``SHED`` /
+  ``ABORTED``) may only be assigned to ``state``/``status`` attributes via
+  the serve state machine (``Request.transition`` in
+  ``serve/request.py``): ad-hoc terminal mutations would bypass the
+  legal-transition check and the exactly-one-terminal accounting the SLO
+  reports and property tests rely on.
 
 Exit status is 0 when clean, 1 when any violation is found.
 """
@@ -87,6 +93,14 @@ STATS_DICT_NAMES = {"stats", "_stats", "counters", "_counters"}
 #: Constructors whose result, assigned to a stats-named attribute, is an
 #: ad-hoc metrics dict (AGL007).
 DICT_CONSTRUCTORS = {"dict", "defaultdict", "collections.defaultdict"}
+
+#: Serving-request terminal state names (AGL008): assigning one of these
+#: enum members to a state/status attribute outside the serve state machine
+#: bypasses Request.transition's legality and accounting guarantees.
+SERVE_TERMINAL_NAMES = {"COMPLETED", "SHED", "ABORTED"}
+
+#: Attribute names AGL008 guards against ad-hoc terminal assignment.
+STATE_ATTR_NAMES = {"state", "_state", "status", "_status"}
 
 
 @dataclass(frozen=True)
@@ -176,6 +190,9 @@ class _FileLinter:
         #: The telemetry spine owns metric storage; everyone else uses its
         #: typed instruments.
         self.stats_dict_ok = "telemetry" in parts
+        #: The serve state machine is the single legal mutation point for
+        #: request terminal states.
+        self.serve_state_ok = path.name == "request.py" and "serve" in parts
 
     def add(self, node: ast.AST, code: str, message: str) -> None:
         self.violations.append(
@@ -199,6 +216,7 @@ class _FileLinter:
                 self._check_config_attr(node)
             elif isinstance(node, (ast.Assign, ast.AugAssign)):
                 self._check_stats_mutation(node)
+                self._check_terminal_state_mutation(node)
             if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 if _is_generator(node):
                     self._check_generator(node)
@@ -309,6 +327,29 @@ class _FileLinter:
                         f"in the repro.telemetry registry (trace.group / "
                         f"registry.counter)",
                     )
+
+    def _check_terminal_state_mutation(
+        self, node: ast.Assign | ast.AugAssign
+    ) -> None:
+        """AGL008: terminal request states flow only through the serve
+        state machine (``Request.transition``)."""
+        if self.serve_state_ok or isinstance(node, ast.AugAssign):
+            return
+        value = node.value
+        if not (
+            isinstance(value, ast.Attribute)
+            and value.attr in SERVE_TERMINAL_NAMES
+        ):
+            return
+        for tgt in node.targets:
+            name = self._bare_name(tgt)
+            if name in STATE_ATTR_NAMES:
+                self.add(
+                    tgt, "AGL008",
+                    f"ad-hoc terminal-state assignment {name} = "
+                    f"...{value.attr}; request terminal states may only be "
+                    f"set via Request.transition (serve/request.py)",
+                )
 
     @staticmethod
     def _bare_name(node: ast.AST) -> Optional[str]:

@@ -68,13 +68,44 @@ def perf(argv: list[str]) -> int:
     return 0
 
 
+def serve(argv: list[str]) -> int:
+    """Serving-layer saturation smoke: a small open-loop sweep on every
+    system (AGILE / BaM / naive) with per-point goodput and tail latency.
+
+    Thin shim over ``python -m repro.serve sweep`` so serving lives beside
+    the other bench targets; all sweep options pass through.
+    """
+    from repro.serve.__main__ import main as serve_main
+
+    return serve_main(["sweep", *argv])
+
+
+def _serve_saturation_section(quick: bool) -> dict:
+    """Serve sweep results in the BENCH.json trend shape."""
+    from repro.serve.__main__ import DEFAULT_LOADS, QUICK_LOADS
+    from repro.serve.sweep import SweepSpec, curves_as_dict, run_saturation_sweep
+
+    spec = SweepSpec(
+        loads_rps=QUICK_LOADS if quick else DEFAULT_LOADS,
+        duration_ns=2_000_000.0 if quick else 10_000_000.0,
+    )
+    curves = run_saturation_sweep(spec)
+    return {
+        "seed": spec.seed,
+        "duration_ns": spec.duration_ns,
+        "loads_rps": list(spec.loads_rps),
+        "curves": curves_as_dict(curves),
+    }
+
+
 def export(argv: list[str]) -> int:
     """Machine-readable bench snapshot for the CI trend artifact.
 
     Writes one JSON document holding a Fig. 5-style read-bandwidth table,
-    the scheduler-throughput (events/sec) measurement, and per-point device
+    the scheduler-throughput (events/sec) measurement, per-point device
     error counts (zero on every fault-free run — a nonzero value here is a
-    regression even when bandwidth looks fine).
+    regression even when bandwidth looks fine), and the serving-layer
+    saturation curves (goodput + p99 vs offered load per system).
     """
     from repro.workloads.io_sweep import run_bandwidth_sweep
 
@@ -134,6 +165,7 @@ def export(argv: list[str]) -> int:
             "bandwidth_gbps": point.bandwidth_gbps,
             "device_errors": point.device_errors,
         },
+        "serve_saturation": _serve_saturation_section(quick),
     }
     with open(out, "w") as fh:
         json.dump(doc, fh, indent=2, sort_keys=True)
@@ -152,6 +184,8 @@ def _dispatch(argv: list[str]) -> int:
         return perf(argv[1:])
     if argv and argv[0] == "export":
         return export(argv[1:])
+    if argv and argv[0] == "serve":
+        return serve(argv[1:])
     if not argv or argv[0] in ("-h", "--help", "list"):
         print("available targets:")
         for name in registry:
@@ -159,6 +193,7 @@ def _dispatch(argv: list[str]) -> int:
         print("  all")
         print("  perf [--min-eps N] [--requests N] [--threads N]")
         print("  export [--out FILE] [--quick]")
+        print("  serve [--quick] [--loads ...] [--out FILE]   (saturation sweep)")
         print("  --trace FILE <target>   (Chrome-trace timeline of the run)")
         return 0
     targets = list(registry) if argv == ["all"] else argv

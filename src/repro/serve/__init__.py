@@ -1,0 +1,79 @@
+"""repro.serve — online request serving on top of the AGILE/BaM hosts.
+
+Open-loop load generation (Poisson / MMPP / trace replay), bounded
+admission with explicit load shedding, dynamic batching into kernel
+launches, fair-share dispatch across one or more simulated GPUs, and
+per-class SLO accounting on the telemetry spine.
+
+Entirely additive: nothing here runs unless a :class:`ServeEngine` is
+constructed, so closed-loop benchmarks and golden traces are untouched.
+"""
+
+from repro.serve.admission import AdmissionQueue
+from repro.serve.arrival import (
+    ArrivalProcess,
+    Mmpp,
+    Poisson,
+    TraceReplay,
+    trace_from_access_stream,
+)
+from repro.serve.backends import (
+    AgileServeBackend,
+    BamServeBackend,
+    NaiveServeBackend,
+    ServeBackend,
+)
+from repro.serve.batcher import Batch, BatchPolicy, DynamicBatcher
+from repro.serve.dispatch import Dispatcher
+from repro.serve.engine import ServeConfig, ServeEngine
+from repro.serve.request import (
+    LEGAL_TRANSITIONS,
+    Request,
+    RequestClass,
+    RequestState,
+    ServeStateError,
+    TERMINAL_STATES,
+)
+from repro.serve.slo import ClassReport, ServeReport, SloAccountant
+from repro.serve.sweep import (
+    ServePoint,
+    SweepSpec,
+    build_backend,
+    knee_rps,
+    run_saturation_sweep,
+    run_serve_point,
+)
+
+__all__ = [
+    "AdmissionQueue",
+    "AgileServeBackend",
+    "ArrivalProcess",
+    "BamServeBackend",
+    "Batch",
+    "BatchPolicy",
+    "ClassReport",
+    "Dispatcher",
+    "DynamicBatcher",
+    "LEGAL_TRANSITIONS",
+    "Mmpp",
+    "NaiveServeBackend",
+    "Poisson",
+    "Request",
+    "RequestClass",
+    "RequestState",
+    "ServeBackend",
+    "ServeConfig",
+    "ServeEngine",
+    "ServePoint",
+    "ServeReport",
+    "ServeStateError",
+    "SloAccountant",
+    "SweepSpec",
+    "TERMINAL_STATES",
+    "TraceReplay",
+    "build_backend",
+    "knee_rps",
+    "run_saturation_sweep",
+    "run_serve_point",
+    "trace_from_access_stream",
+]

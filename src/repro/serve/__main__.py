@@ -1,0 +1,135 @@
+"""CLI: ``python -m repro.serve sweep`` — saturation curves.
+
+Sweeps offered load across AGILE / BaM / naive-async on an identical
+seed-deterministic arrival timeline and prints goodput + tail latency per
+point, optionally writing the full curve set as JSON
+(schema ``agile-serve-sweep/1``).
+
+Examples::
+
+    python -m repro.serve sweep --seed 7
+    python -m repro.serve sweep --quick --systems agile,bam
+    python -m repro.serve sweep --loads 20000,40000,80000 --out serve.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.serve.sweep import (
+    SYSTEMS,
+    SweepSpec,
+    curves_as_dict,
+    knee_rps,
+    run_saturation_sweep,
+)
+
+#: Default offered loads (requests/s) — chosen to straddle every system's
+#: knee at the default 2-SSD machine and 10 ms window.
+DEFAULT_LOADS = (10_000.0, 20_000.0, 40_000.0, 80_000.0, 160_000.0, 320_000.0)
+QUICK_LOADS = (20_000.0, 80_000.0)
+
+
+def _parse_args(argv: Optional[List[str]]) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Online-serving saturation sweeps (open-loop).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sweep = sub.add_parser("sweep", help="offered-load saturation sweep")
+    sweep.add_argument("--seed", type=int, default=7)
+    sweep.add_argument(
+        "--systems",
+        default=",".join(SYSTEMS),
+        help="comma-separated subset of: " + ", ".join(SYSTEMS),
+    )
+    sweep.add_argument(
+        "--loads",
+        default="",
+        help="comma-separated offered loads in requests/s "
+        "(default: a knee-straddling ladder)",
+    )
+    sweep.add_argument(
+        "--duration-ms",
+        type=float,
+        default=10.0,
+        help="offered-traffic window per point (simulated ms)",
+    )
+    sweep.add_argument("--num-ssds", type=int, default=2)
+    sweep.add_argument("--num-gpus", type=int, default=1)
+    sweep.add_argument(
+        "--quick", action="store_true",
+        help="two loads instead of the full ladder (CI smoke)",
+    )
+    sweep.add_argument("--out", default="", help="write curves JSON here")
+    return parser.parse_args(argv)
+
+
+def _format_point(pt) -> str:
+    rep = pt.report
+    return (
+        f"    {pt.offered_rps:>9,.0f} rps offered | "
+        f"goodput {rep.goodput_rps:>9,.0f} rps | "
+        f"p99 {rep.p99_ns / 1e6:7.3f} ms | "
+        f"completed {rep.completed:>5d} shed {rep.shed:>4d} "
+        f"aborted {rep.aborted:>4d} | "
+        f"mean batch {rep.mean_batch_size:5.1f}"
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _parse_args(argv)
+    systems = tuple(s for s in args.systems.split(",") if s)
+    for system in systems:
+        if system not in SYSTEMS:
+            print(f"unknown system {system!r}; want one of {SYSTEMS}",
+                  file=sys.stderr)
+            return 2
+    if args.loads:
+        loads = tuple(float(tok) for tok in args.loads.split(",") if tok)
+    else:
+        loads = QUICK_LOADS if args.quick else DEFAULT_LOADS
+    spec = SweepSpec(
+        loads_rps=loads,
+        duration_ns=args.duration_ms * 1e6,
+        seed=args.seed,
+        num_ssds=args.num_ssds,
+    )
+    print(
+        f"serve saturation sweep: seed={spec.seed} "
+        f"window={args.duration_ms:g} ms ssds={spec.num_ssds} "
+        f"gpus={args.num_gpus}"
+    )
+    print(f"replay: python -m repro.serve sweep --seed {spec.seed} "
+          f"--systems {','.join(systems)} "
+          f"--loads {','.join(f'{ld:g}' for ld in loads)} "
+          f"--duration-ms {args.duration_ms:g}")
+    curves = run_saturation_sweep(spec, systems=systems,
+                                  num_gpus=args.num_gpus)
+    for system in systems:
+        points = curves[system]
+        print(f"  {system}: knee ~{knee_rps(points):,.0f} rps")
+        for pt in points:
+            print(_format_point(pt))
+    if args.out:
+        doc = {
+            "schema": "agile-serve-sweep/1",
+            "seed": spec.seed,
+            "duration_ns": spec.duration_ns,
+            "num_ssds": spec.num_ssds,
+            "num_gpus": args.num_gpus,
+            "loads_rps": list(loads),
+            "curves": curves_as_dict(curves),
+        }
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

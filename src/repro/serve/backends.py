@@ -1,0 +1,392 @@
+"""Serving backends: identical batch semantics on AGILE, BaM, and naive.
+
+A backend owns the simulated machine and turns one :class:`Batch` into one
+kernel launch — one GPU thread per request, each thread reading its
+request's pages and reporting its own finish time (so per-request latency
+is exact, not batch-granular).  The application-side logic is the same in
+all three kernels; only the I/O discipline differs, mirroring the paper's
+"identical kernel implementations" methodology:
+
+- **agile** — ``ctrl.raw_read`` issues every page asynchronously, then the
+  thread waits on the transactions; completions are retired by the AGILE
+  service SM (paper §3.2).  Multi-GPU hosts reuse ``core.multigpu``: one
+  dispatch worker per GPU node, SSDs genuinely shared.
+- **bam** — ``ctrl.read_page`` (``acquire_sync``): every thread polls the
+  CQ inline and pays BaM's heavier cache critical sections.
+- **naive** — the Figure 1 strawman via
+  :class:`~repro.baselines.naive_async.NaiveAsyncEngine`: threads hold SQE
+  locks across their own issues and retire their own completions; the
+  backend caps batch size so one batch cannot exceed the SQ slots (a
+  production-shaped guard against the design's native deadlock).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Optional
+
+import numpy as np
+
+from repro.baselines.harness import BamHost
+from repro.baselines.naive_async import NaiveAsyncEngine
+from repro.config import SystemConfig
+from repro.core import AgileHost, AgileLockChain
+from repro.core.issue import AgileIoError
+from repro.core.locks import DeadlockError
+from repro.core.multigpu import MultiGpuAgileHost
+from repro.gpu.kernel import KernelSpec, LaunchConfig
+from repro.nvme.command import Opcode
+from repro.serve.batcher import Batch
+from repro.serve.request import Request
+from repro.sim.engine import SimStallError
+
+#: Registers per serving-kernel thread (raw-read loop + wait, no cache walk).
+SERVE_KERNEL_REGISTERS = 48
+
+#: How long a naive-async thread may see zero completion progress before
+#: its wait is declared lost (a sibling consumed-and-dropped its CQE) and
+#: the request aborts.  Generous against honest queueing delay, small
+#: enough to keep saturation sweeps finite.
+NAIVE_STALL_NS = 200_000.0
+
+
+class ServeBackend:
+    """Common machinery: scratch buffers, launch plumbing, batch kernels."""
+
+    system = "base"
+
+    def __init__(self) -> None:
+        self._scratch: Dict[int, List[Any]] = {}
+
+    # -- interface the engine drives ---------------------------------------
+
+    @property
+    def sim(self):
+        raise NotImplementedError
+
+    @property
+    def trace(self):
+        """The host's metric registry (serve instruments register here)."""
+        raise NotImplementedError
+
+    @property
+    def telemetry(self):
+        return None
+
+    @property
+    def num_workers(self) -> int:
+        return 1
+
+    @property
+    def max_batch(self) -> int:
+        """Backend-imposed ceiling on requests per batch (0 = none)."""
+        return 0
+
+    def start(self) -> None:
+        pass
+
+    def stop(self) -> None:
+        pass
+
+    def drain(self) -> None:
+        pass
+
+    def load_pattern(self, num_ssds: int, lba_space: int, page_size: int) -> None:
+        """Stage a recognisable pattern under the serving LBA range."""
+        data = np.arange(lba_space * page_size, dtype=np.uint8)
+        for idx in range(num_ssds):
+            self._load(idx, data)
+
+    def _load(self, ssd_idx: int, data) -> None:
+        raise NotImplementedError
+
+    def run_batch(
+        self, worker_idx: int, batch: Batch, finish
+    ) -> Generator[Any, Any, None]:
+        """Serve one batch on one worker; ``finish(req, ok)`` must be called
+        exactly once per request at that request's own completion time."""
+        raise NotImplementedError
+
+    # -- shared helpers -----------------------------------------------------
+
+    def _scratch_views(self, worker_idx: int, count: int, alloc) -> List[Any]:
+        """Per-(worker, thread) 4 KiB destination buffers, grown on demand
+        and reused across batches (host-side allocation, no simulated time)."""
+        pool = self._scratch.setdefault(worker_idx, [])
+        while len(pool) < count:
+            view = alloc(4096)
+            view[:] = 0
+            pool.append(view)
+        return pool
+
+    @staticmethod
+    def _launch_geometry(n_threads: int) -> LaunchConfig:
+        block = min(n_threads, 128)
+        grid = (n_threads + block - 1) // block
+        return LaunchConfig(grid, block)
+
+
+class AgileServeBackend(ServeBackend):
+    """AGILE host(s); ``num_gpus > 1`` builds a ``MultiGpuAgileHost``."""
+
+    system = "agile"
+
+    def __init__(
+        self,
+        cfg: Optional[SystemConfig] = None,
+        num_gpus: int = 1,
+        telemetry: Optional[bool] = None,
+    ):
+        super().__init__()
+        self.num_gpus = num_gpus
+        if num_gpus == 1:
+            self.host = AgileHost(cfg, telemetry=telemetry)
+            self._multi: Optional[MultiGpuAgileHost] = None
+        else:
+            self._multi = MultiGpuAgileHost(cfg, num_gpus=num_gpus)
+            self.host = None
+
+    @property
+    def sim(self):
+        return self.host.sim if self.host is not None else self._multi.sim
+
+    @property
+    def trace(self):
+        return self.host.trace if self.host is not None else self._multi.trace
+
+    @property
+    def telemetry(self):
+        return self.host.telemetry if self.host is not None else None
+
+    @property
+    def cfg(self) -> SystemConfig:
+        return self.host.cfg if self.host is not None else self._multi.cfg
+
+    @property
+    def num_workers(self) -> int:
+        return self.num_gpus
+
+    def start(self) -> None:
+        (self.host or self._multi).start()
+
+    def stop(self) -> None:
+        (self.host or self._multi).stop()
+
+    def drain(self) -> None:
+        if self.host is not None:
+            self.host.drain()
+
+    def _load(self, ssd_idx: int, data) -> None:
+        (self.host or self._multi).load_data(ssd_idx, 0, data)
+
+    def run_batch(
+        self, worker_idx: int, batch: Batch, finish
+    ) -> Generator[Any, Any, None]:
+        if self.host is not None:
+            alloc = self.host.alloc_view
+        else:
+            node = self._multi.nodes[worker_idx]
+            alloc = lambda n: node.gpu.hbm.alloc(n, label="serve").view  # noqa: E731
+        scratch = self._scratch_views(worker_idx, len(batch), alloc)
+        requests = batch.requests
+        cfg = self._launch_geometry(len(batch))
+        n_threads = cfg.grid_dim * cfg.block_dim
+
+        def body(tc, ctrl, _batch_args):
+            # Global tids are contiguous within one launch, so modulo the
+            # launch width recovers the in-grid index (the repo idiom).
+            tid = tc.tid % n_threads
+            if tid >= len(requests):
+                return
+            req: Request = requests[tid]
+            chain = AgileLockChain(f"serve.b{batch.bid}.t{tid}")
+            dest = scratch[tid]
+            ok = True
+            try:
+                txns = []
+                for ssd, lba in req.pages:
+                    txn = yield from ctrl.raw_read(
+                        tc, chain, ssd, lba, dest
+                    )
+                    txns.append(txn)
+                for txn in txns:
+                    completion = yield from txn.wait()
+                    if completion is None or not completion.ok:
+                        ok = False
+            except AgileIoError:
+                ok = False
+            finish(req, ok)
+
+        kernel = KernelSpec(
+            name=f"serve_agile_b{batch.bid}",
+            body=body,
+            registers_per_thread=SERVE_KERNEL_REGISTERS,
+        )
+        if self.host is not None:
+            launch = self.host.launch_kernel(kernel, cfg, args=(None,))
+        else:
+            launch = self._multi.launch_kernel(
+                worker_idx, kernel, cfg, args=(None,)
+            )
+        yield launch.done
+
+
+class BamServeBackend(ServeBackend):
+    """BaM host: synchronous cached reads, inline CQ polling."""
+
+    system = "bam"
+
+    def __init__(
+        self,
+        cfg: Optional[SystemConfig] = None,
+        telemetry: Optional[bool] = None,
+    ):
+        super().__init__()
+        self.host = BamHost(cfg, telemetry=telemetry)
+
+    @property
+    def sim(self):
+        return self.host.sim
+
+    @property
+    def trace(self):
+        return self.host.trace
+
+    @property
+    def telemetry(self):
+        return self.host.telemetry
+
+    @property
+    def cfg(self) -> SystemConfig:
+        return self.host.cfg
+
+    def _load(self, ssd_idx: int, data) -> None:
+        self.host.load_data(ssd_idx, 0, data)
+
+    def run_batch(
+        self, worker_idx: int, batch: Batch, finish
+    ) -> Generator[Any, Any, None]:
+        requests = batch.requests
+        cfg = self._launch_geometry(len(batch))
+        n_threads = cfg.grid_dim * cfg.block_dim
+
+        def body(tc, ctrl, _batch_args):
+            tid = tc.tid % n_threads
+            if tid >= len(requests):
+                return
+            req: Request = requests[tid]
+            chain = AgileLockChain(f"serve.b{batch.bid}.t{tid}")
+            for ssd, lba in req.pages:
+                line = yield from ctrl.read_page(tc, chain, ssd, lba)
+                ctrl.cache.unpin(line)
+            finish(req, True)
+
+        kernel = KernelSpec(
+            name=f"serve_bam_b{batch.bid}",
+            body=body,
+            registers_per_thread=SERVE_KERNEL_REGISTERS,
+        )
+        launch = self.host.launch_kernel(kernel, cfg, args=(None,))
+        yield launch.done
+
+
+class NaiveServeBackend(ServeBackend):
+    """Figure 1 naive-async on the BaM machine: per-thread SQE-lock issue
+    plus self-polling completion, one :class:`NaiveAsyncEngine` per SSD so
+    commands reach the right device."""
+
+    system = "naive"
+
+    def __init__(self, cfg: Optional[SystemConfig] = None):
+        super().__init__()
+        self.host = BamHost(cfg)
+        self.engines = [
+            NaiveAsyncEngine(
+                self.host.sim, qps, debugger=self.host.debugger
+            )
+            for qps in self.host.queue_pairs
+        ]
+        #: Total SQ slots per SSD bounds safe concurrent outstanding I/O.
+        self._slots_per_ssd = min(
+            sum(qp.sq.depth for qp in qps) for qps in self.host.queue_pairs
+        )
+
+    @property
+    def sim(self):
+        return self.host.sim
+
+    @property
+    def trace(self):
+        return self.host.trace
+
+    @property
+    def cfg(self) -> SystemConfig:
+        return self.host.cfg
+
+    @property
+    def max_batch(self) -> int:
+        # Worst case every request in the batch targets the same SSD and
+        # holds all its page slots at once; staying under the slot count
+        # keeps the strawman live instead of deadlocking mid-sweep.
+        return max(1, self._slots_per_ssd // 2)
+
+    def _load(self, ssd_idx: int, data) -> None:
+        self.host.load_data(ssd_idx, 0, data)
+
+    def run_batch(
+        self, worker_idx: int, batch: Batch, finish
+    ) -> Generator[Any, Any, None]:
+        scratch = self._scratch_views(
+            worker_idx, len(batch), self.host.alloc_view
+        )
+        requests = batch.requests
+        engines = self.engines
+        cfg = self._launch_geometry(len(batch))
+        n_threads = cfg.grid_dim * cfg.block_dim
+
+        def body(tc, _ctrl, _batch_args):
+            tid = tc.tid % n_threads
+            if tid >= len(requests):
+                return
+            req: Request = requests[tid]
+            chain = AgileLockChain(f"serve.b{batch.bid}.t{tid}")
+            dest = scratch[tid]
+            tokens = []
+            ok = True
+            try:
+                for ssd, lba in req.pages:
+                    token = yield from engines[ssd].async_issue(
+                        tc, chain, Opcode.READ, lba, dest
+                    )
+                    tokens.append((ssd, token))
+                for ssd in sorted({s for s, _ in tokens}):
+                    group = [t for s, t in tokens if s == ssd]
+                    yield from engines[ssd].wait_all(
+                        tc, chain, group, stall_after_ns=NAIVE_STALL_NS
+                    )
+                ok = all(
+                    t.completion is not None and t.completion.ok
+                    for _, t in tokens
+                )
+            except (DeadlockError, SimStallError):
+                # The Figure 1 defect biting: this thread's completion was
+                # consumed and dropped by a sibling's poll loop (or its next
+                # issue closed a lock cycle).  A real deployment would reset
+                # the queue pair; here the thread releases every slot and
+                # lock it still holds so the rest of the system stays live,
+                # and the request surfaces as ABORTED — the naive curve's
+                # collapse under concurrency is exactly these events.
+                ok = False
+                for _ssd, token in tokens:
+                    if token.completion is None:
+                        token.qp.sq.release(token.slot)
+                for lock in list(chain.held):
+                    lock.release(chain)
+            finish(req, ok)
+
+        kernel = KernelSpec(
+            name=f"serve_naive_b{batch.bid}",
+            body=body,
+            registers_per_thread=SERVE_KERNEL_REGISTERS,
+        )
+        launch = self.host.launch_kernel(kernel, cfg, args=(None,))
+        yield launch.done

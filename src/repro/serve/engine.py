@@ -1,0 +1,272 @@
+"""The serve engine: arrival -> admission -> batching -> dispatch -> SLO.
+
+One :class:`ServeEngine` drives one backend with open-loop traffic for a
+fixed simulated window, then drains and reports.  All randomness flows
+through per-class named :class:`~repro.sim.rng.RngStreams` streams
+(``serve.arrival.<class>`` for gaps, ``serve.pages.<class>`` for page
+targets), so a (seed, config) pair reproduces the identical request
+timeline bit-for-bit on every backend — the property the saturation-curve
+comparison and the determinism tests rest on.
+
+The engine owns the single terminal-accounting hook: every request's
+terminal transition (shed at admission, timeout at pull, abort or complete
+in a kernel) funnels through :meth:`ServeEngine._terminal`, which feeds the
+SLO accountant and the liveness bookkeeping.  ``run()`` asserts the
+contract the property tests check: when the window closes and the pipeline
+drains, *every* offered request is in exactly one terminal state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Optional, Sequence
+
+from repro.config import NS_PER_S
+from repro.serve.admission import AdmissionQueue
+from repro.serve.arrival import ArrivalProcess, TraceReplay
+from repro.serve.backends import ServeBackend
+from repro.serve.batcher import BatchPolicy, DynamicBatcher
+from repro.serve.dispatch import Dispatcher
+from repro.serve.request import Request, RequestClass, RequestState
+from repro.serve.slo import ServeReport, SloAccountant
+from repro.sim.engine import Timeout
+from repro.sim.rng import RngStreams
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Engine knobs independent of the simulated machine."""
+
+    #: Offered-traffic window (simulated ns); arrivals stop after this.
+    duration_ns: float = 10_000_000.0
+    #: Admission queue bound (requests; beyond it arrivals are SHED).
+    admission_capacity: int = 256
+    batch: BatchPolicy = field(default_factory=BatchPolicy)
+    #: Dispatch-window depth per worker (batches waiting beyond the ones
+    #: running); small keeps queueing in the shed-visible admission queue.
+    pending_per_worker: int = 2
+    #: Drain poll period after the window closes (ns).
+    drain_poll_ns: float = 5_000.0
+
+    def __post_init__(self) -> None:
+        if self.duration_ns <= 0:
+            raise ValueError("duration_ns must be > 0")
+        if self.admission_capacity < 1:
+            raise ValueError("admission_capacity must be >= 1")
+        if self.pending_per_worker < 1:
+            raise ValueError("pending_per_worker must be >= 1")
+
+
+class ServeEngine:
+    """Open-loop request serving on top of one backend."""
+
+    def __init__(
+        self,
+        backend: ServeBackend,
+        classes: Sequence[RequestClass],
+        arrivals: Dict[str, ArrivalProcess],
+        serve_cfg: Optional[ServeConfig] = None,
+        seed: int = 7,
+    ):
+        if not classes:
+            raise ValueError("at least one request class is required")
+        missing = [c.name for c in classes if c.name not in arrivals]
+        if missing:
+            raise ValueError(f"no arrival process for class(es): {missing}")
+        self.backend = backend
+        self.classes = list(classes)
+        self.arrivals = dict(arrivals)
+        self.cfg = serve_cfg if serve_cfg is not None else ServeConfig()
+        self.seed = seed
+        self.rng = RngStreams(seed)
+        self.sim = backend.sim
+        registry = backend.trace
+
+        self.slo = SloAccountant(registry, self.classes)
+        self.admission = AdmissionQueue(
+            self.sim,
+            self.cfg.admission_capacity,
+            events=registry.counter(
+                "serve.admission",
+                description="admission-queue level outcomes",
+                labels=("shed", "queue_timeout"),
+            ),
+            depth_gauge=self._gauge(
+                registry, "serve.admission.depth", "queue", "admission"
+            ),
+            on_terminal=self._terminal,
+        )
+        max_batch = self.cfg.batch.max_batch
+        if backend.max_batch:
+            max_batch = min(max_batch, backend.max_batch)
+        policy = BatchPolicy(
+            max_batch=max_batch,
+            max_wait_ns=self.cfg.batch.max_wait_ns,
+            poll_ns=self.cfg.batch.poll_ns,
+        )
+        self.dispatcher = Dispatcher(
+            self.sim,
+            self._run_batch,
+            num_workers=backend.num_workers,
+            events=registry.counter(
+                "serve.dispatch", description="batch dispatch counters"
+            ),
+            pending_gauge=self._gauge(
+                registry, "serve.dispatch.pending", "queue", "dispatch"
+            ),
+            pending_limit=self.cfg.pending_per_worker * backend.num_workers,
+        )
+        self.batcher = DynamicBatcher(
+            self.sim,
+            self.admission,
+            self.dispatcher,
+            policy,
+            size_hist=registry.histogram(
+                "serve.batch_size",
+                description="requests coalesced per kernel launch",
+                buckets=(1, 2, 4, 8, 16, 32, 64, 128),
+            ),
+        )
+        #: Every request ever created, in arrival order (the property tests
+        #: walk this to assert exactly-one-terminal-state).
+        self.requests: List[Request] = []
+        self._outstanding = 0
+        self._rid = 0
+        self._ran = False
+
+    def _gauge(self, registry, name: str, layer: str, track: str):
+        tel = self.backend.telemetry
+        if tel is not None:
+            return tel.sampled_gauge(name, layer, track)
+        return registry.gauge(name)
+
+    # -- request construction ----------------------------------------------
+
+    def _make_request(self, cls: RequestClass, pages) -> Request:
+        self._rid += 1
+        req = Request(
+            rid=self._rid,
+            cls=cls,
+            arrival_ns=self.sim.now,
+            pages=tuple(pages),
+        )
+        self.requests.append(req)
+        self._outstanding += 1
+        self.slo.offered(cls)
+        return req
+
+    def _sample_pages(self, cls: RequestClass, rng) -> List[tuple]:
+        num_ssds = len(self.backend.cfg.ssds)
+        lbas = rng.integers(0, cls.lba_space, size=cls.pages)
+        return [
+            (int(i % num_ssds), int(lba)) for i, lba in enumerate(lbas)
+        ]
+
+    # -- sim processes -------------------------------------------------------
+
+    def _arrival_proc(
+        self, cls: RequestClass, proc: ArrivalProcess
+    ) -> Generator[Any, Any, None]:
+        gap_rng = self.rng.stream(f"serve.arrival.{cls.name}")
+        page_rng = self.rng.stream(f"serve.pages.{cls.name}")
+        page_seq = (
+            proc.page_sequence()
+            if isinstance(proc, TraceReplay) and proc.pages is not None
+            else None
+        )
+        end = self.cfg.duration_ns
+        for gap in proc.gaps(gap_rng):
+            yield Timeout(gap)
+            if self.sim.now >= end:
+                return
+            if page_seq is not None:
+                pages = next(page_seq)
+            else:
+                pages = self._sample_pages(cls, page_rng)
+            req = self._make_request(cls, pages)
+            if self.admission.offer(req):
+                self.slo.admitted(cls)
+
+    def _run_batch(self, worker_idx: int, batch) -> Generator[Any, Any, None]:
+        tel = self.backend.telemetry
+        start = self.sim.now
+        yield from self.backend.run_batch(worker_idx, batch, self._finish)
+        if tel is not None:
+            tel.spans.complete(
+                f"serve.batch{batch.bid}",
+                "serve",
+                f"worker{worker_idx}",
+                start,
+                requests=len(batch),
+                pages=batch.total_pages,
+            )
+
+    # -- terminal accounting -------------------------------------------------
+
+    def _finish(self, req: Request, ok: bool) -> None:
+        """Kernel-side completion hook (runs at the thread's finish time)."""
+        req.transition(
+            RequestState.COMPLETED if ok else RequestState.ABORTED,
+            self.sim.now,
+        )
+        self._terminal(req)
+
+    def _terminal(self, req: Request) -> None:
+        self._outstanding -= 1
+        self.slo.record_terminal(req)
+
+    # -- the run -------------------------------------------------------------
+
+    def run(self) -> ServeReport:
+        """Offer traffic for the configured window, drain, and report."""
+        if self._ran:
+            raise RuntimeError("ServeEngine instances are one-shot")
+        self._ran = True
+        backend = self.backend
+        backend.start()
+        arrival_procs = [
+            self.sim.spawn(
+                self._arrival_proc(cls, self.arrivals[cls.name]),
+                name=f"serve.arrival.{cls.name}",
+            )
+            for cls in self.classes
+        ]
+        self.sim.spawn(self.batcher.run(), name="serve.batcher")
+        self.dispatcher.spawn_workers()
+
+        def main() -> Generator[Any, Any, None]:
+            for proc in arrival_procs:
+                yield proc.done_event
+            self.admission.close()
+            while self._outstanding > 0 or not self.dispatcher.idle:
+                yield Timeout(self.cfg.drain_poll_ns)
+
+        main_proc = self.sim.spawn(main(), name="serve.main")
+        self.sim.run(until_procs=[main_proc])
+        backend.stop()
+        backend.drain()
+
+        leftovers = [r for r in self.requests if not r.terminal]
+        if leftovers:
+            raise RuntimeError(
+                f"serve drain leak: {len(leftovers)} request(s) never "
+                f"reached a terminal state (first: {leftovers[0]!r})"
+            )
+        return self.report()
+
+    def report(self) -> ServeReport:
+        duration = self.cfg.duration_ns
+        class_reports = {
+            rep.name: rep for rep in self.slo.reports(duration)
+        }
+        offered = sum(c.offered for c in class_reports.values())
+        size_hist = self.batcher.size_hist
+        return ServeReport(
+            system=self.backend.system,
+            duration_ns=duration,
+            offered_rps=offered / (duration / NS_PER_S),
+            classes=class_reports,
+            sim_events=self.sim.event_count,
+            batches=size_hist.count,
+            mean_batch_size=size_hist.mean(),
+        )

@@ -1,0 +1,182 @@
+"""Requests, tenant request classes, and the serve state machine.
+
+Every request walks one path through a fixed lifecycle::
+
+    CREATED --admit--> QUEUED --pull--> BATCHED --launch--> DISPATCHED
+       |                 |                  |                   |
+       +--queue full--> SHED   +--timeout--> ABORTED <--I/O error+
+                                                COMPLETED <--ok--+
+
+Exactly one terminal state (``COMPLETED`` / ``SHED`` / ``ABORTED``) is
+reached, exactly once, and **only** via :meth:`Request.transition` — the
+lint rule AGL008 bans ad-hoc assignments of terminal states anywhere else,
+so shed/timeout/abort accounting can trust the machine instead of auditing
+every mutation site.  Timestamps for each hop are recorded on the request,
+which is all the SLO accountant needs to attribute latency to queueing,
+batching, or service.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional, Tuple
+
+
+class RequestState(Enum):
+    """Lifecycle states of one serving request."""
+
+    CREATED = "created"
+    QUEUED = "queued"
+    BATCHED = "batched"
+    DISPATCHED = "dispatched"
+    COMPLETED = "completed"
+    SHED = "shed"
+    ABORTED = "aborted"
+
+
+#: States a request can never leave.
+TERMINAL_STATES = frozenset(
+    {RequestState.COMPLETED, RequestState.SHED, RequestState.ABORTED}
+)
+
+#: Legal transitions (the serve state machine).  Terminal states map to the
+#: empty set: a second terminal transition is a bug, never a recount.
+LEGAL_TRANSITIONS = {
+    RequestState.CREATED: frozenset(
+        {RequestState.QUEUED, RequestState.SHED}
+    ),
+    RequestState.QUEUED: frozenset(
+        {RequestState.BATCHED, RequestState.SHED, RequestState.ABORTED}
+    ),
+    RequestState.BATCHED: frozenset(
+        {RequestState.DISPATCHED, RequestState.ABORTED}
+    ),
+    RequestState.DISPATCHED: frozenset(
+        {RequestState.COMPLETED, RequestState.ABORTED}
+    ),
+    RequestState.COMPLETED: frozenset(),
+    RequestState.SHED: frozenset(),
+    RequestState.ABORTED: frozenset(),
+}
+
+
+class ServeStateError(RuntimeError):
+    """An illegal request-state transition was attempted."""
+
+
+@dataclass(frozen=True)
+class RequestClass:
+    """One tenant / request shape with its own SLO budget.
+
+    ``pages`` is the number of 4 KiB pages one request reads; ``weight``
+    is the tenant's share of the offered load; ``slo_ns`` is the
+    end-to-end latency budget used for goodput (a completed request past
+    its budget counts as an SLO miss, not goodput).  ``queue_timeout_ns``
+    bounds time in the admission queue: a request older than this is
+    ABORTED at pull time instead of being served long past its deadline.
+    """
+
+    name: str
+    pages: int = 1
+    slo_ns: float = 2_000_000.0
+    weight: float = 1.0
+    queue_timeout_ns: float = float("inf")
+    #: LBA space the class's reads target (pages sampled uniformly unless
+    #: the arrival process replays an explicit access trace).
+    lba_space: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.pages < 1:
+            raise ValueError(f"class {self.name!r}: pages must be >= 1")
+        if self.weight <= 0:
+            raise ValueError(f"class {self.name!r}: weight must be > 0")
+        if self.slo_ns <= 0:
+            raise ValueError(f"class {self.name!r}: slo_ns must be > 0")
+
+
+class Request:
+    """One in-flight serving request (open-loop: it exists whether or not
+    the system has capacity for it)."""
+
+    __slots__ = (
+        "rid", "cls", "arrival_ns", "pages", "_state",
+        "admitted_ns", "batched_ns", "dispatched_ns", "finished_ns",
+    )
+
+    def __init__(
+        self,
+        rid: int,
+        cls: RequestClass,
+        arrival_ns: float,
+        pages: Tuple[Tuple[int, int], ...],
+    ):
+        self.rid = rid
+        self.cls = cls
+        self.arrival_ns = arrival_ns
+        #: (ssd_index, lba) coordinates this request reads.
+        self.pages = pages
+        self._state = RequestState.CREATED
+        self.admitted_ns: Optional[float] = None
+        self.batched_ns: Optional[float] = None
+        self.dispatched_ns: Optional[float] = None
+        self.finished_ns: Optional[float] = None
+
+    @property
+    def state(self) -> RequestState:
+        return self._state
+
+    @property
+    def terminal(self) -> bool:
+        return self._state in TERMINAL_STATES
+
+    def transition(self, new: RequestState, now: float) -> None:
+        """Move to ``new`` at simulated time ``now``; the single legal
+        mutation point for request state (AGL008)."""
+        if new not in LEGAL_TRANSITIONS[self._state]:
+            raise ServeStateError(
+                f"request {self.rid} ({self.cls.name}): illegal transition "
+                f"{self._state.value} -> {new.value}"
+            )
+        self._state = new
+        if new is RequestState.QUEUED:
+            self.admitted_ns = now
+        elif new is RequestState.BATCHED:
+            self.batched_ns = now
+        elif new is RequestState.DISPATCHED:
+            self.dispatched_ns = now
+        elif new in TERMINAL_STATES:
+            self.finished_ns = now
+
+    @property
+    def latency_ns(self) -> float:
+        """End-to-end latency (arrival to terminal state)."""
+        if self.finished_ns is None:
+            raise ServeStateError(
+                f"request {self.rid} has not reached a terminal state"
+            )
+        return self.finished_ns - self.arrival_ns
+
+    @property
+    def queue_wait_ns(self) -> float:
+        """Time spent in the admission queue (0 for shed requests)."""
+        if self.admitted_ns is None:
+            return 0.0
+        end = self.batched_ns
+        if end is None:
+            end = self.finished_ns if self.finished_ns is not None else 0.0
+        return max(0.0, end - self.admitted_ns)
+
+    @property
+    def within_slo(self) -> bool:
+        """Completed inside the class's latency budget."""
+        return (
+            self._state is RequestState.COMPLETED
+            and self.latency_ns <= self.cls.slo_ns
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Request({self.rid}, {self.cls.name}, {self._state.value}, "
+            f"t={self.arrival_ns:.0f})"
+        )

@@ -1,0 +1,183 @@
+"""Saturation sweeps: offered load vs goodput and tail latency.
+
+The serving-layer headline experiment: fix the machine, sweep the offered
+request rate across a range that straddles capacity, and plot goodput and
+p99 against offered load for AGILE, BaM, and the naive-async strawman.
+Below the knee all systems track the offered line; past it the curves
+separate — AGILE's asynchronous issue keeps the GPU threads cheap per I/O
+and the knee arrives later, while the shed/abort counters show exactly
+where each system starts refusing work instead of silently queueing.
+
+Workload: two tenant classes sharing the machine — ``point`` (1-page
+lookups, tight SLO, 80 % of traffic) and ``scan`` (4-page reads, looser
+SLO, 20 %) — both Poisson.  Identical seeds produce identical arrival
+timelines on every system, so curves are directly comparable point by
+point and bit-identical across runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.config import SystemConfig
+from repro.serve.arrival import ArrivalProcess, Poisson
+from repro.serve.backends import (
+    AgileServeBackend,
+    BamServeBackend,
+    NaiveServeBackend,
+    ServeBackend,
+)
+from repro.serve.batcher import BatchPolicy
+from repro.serve.engine import ServeConfig, ServeEngine
+from repro.serve.request import RequestClass
+from repro.serve.slo import ServeReport
+
+SYSTEMS = ("agile", "bam", "naive")
+
+#: Tenant mix used by the standard sweep (fractions sum to 1).
+POINT_FRACTION = 0.8
+SCAN_FRACTION = 0.2
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """One saturation sweep's fixed parameters."""
+
+    loads_rps: Sequence[float]
+    duration_ns: float = 10_000_000.0
+    seed: int = 7
+    num_ssds: int = 2
+    lba_space: int = 2048
+    admission_capacity: int = 256
+    max_batch: int = 64
+    max_wait_ns: float = 50_000.0
+    point_slo_ns: float = 2_000_000.0
+    scan_slo_ns: float = 5_000_000.0
+
+
+@dataclass(frozen=True)
+class ServePoint:
+    """One (system, offered-load) sample on the saturation curve."""
+
+    system: str
+    offered_rps: float
+    report: ServeReport
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "system": self.system,
+            "target_rps": self.offered_rps,
+            **self.report.as_dict(),
+        }
+
+
+def standard_classes(spec: SweepSpec) -> List[RequestClass]:
+    return [
+        RequestClass(
+            name="point",
+            pages=1,
+            slo_ns=spec.point_slo_ns,
+            weight=POINT_FRACTION,
+            queue_timeout_ns=spec.point_slo_ns,
+            lba_space=spec.lba_space,
+        ),
+        RequestClass(
+            name="scan",
+            pages=4,
+            slo_ns=spec.scan_slo_ns,
+            weight=SCAN_FRACTION,
+            queue_timeout_ns=spec.scan_slo_ns,
+            lba_space=spec.lba_space,
+        ),
+    ]
+
+
+def standard_arrivals(
+    spec: SweepSpec, rate_rps: float
+) -> Dict[str, ArrivalProcess]:
+    return {
+        "point": Poisson(rate_rps * POINT_FRACTION),
+        "scan": Poisson(rate_rps * SCAN_FRACTION),
+    }
+
+
+def build_backend(
+    system: str, cfg: Optional[SystemConfig] = None, num_gpus: int = 1
+) -> ServeBackend:
+    if system == "agile":
+        return AgileServeBackend(cfg, num_gpus=num_gpus)
+    if system == "bam":
+        return BamServeBackend(cfg)
+    if system == "naive":
+        return NaiveServeBackend(cfg)
+    raise ValueError(f"unknown serve system {system!r} (want one of {SYSTEMS})")
+
+
+def _system_config(spec: SweepSpec) -> SystemConfig:
+    return SystemConfig(seed=spec.seed).with_ssds(spec.num_ssds)
+
+
+def run_serve_point(
+    system: str, rate_rps: float, spec: SweepSpec, num_gpus: int = 1
+) -> ServePoint:
+    """Serve one offered-load point on one system (a fresh machine)."""
+    backend = build_backend(system, _system_config(spec), num_gpus=num_gpus)
+    classes = standard_classes(spec)
+    serve_cfg = ServeConfig(
+        duration_ns=spec.duration_ns,
+        admission_capacity=spec.admission_capacity,
+        batch=BatchPolicy(
+            max_batch=spec.max_batch, max_wait_ns=spec.max_wait_ns
+        ),
+    )
+    backend.load_pattern(spec.num_ssds, spec.lba_space, page_size=4096)
+    engine = ServeEngine(
+        backend,
+        classes,
+        standard_arrivals(spec, rate_rps),
+        serve_cfg,
+        seed=spec.seed,
+    )
+    report = engine.run()
+    return ServePoint(system=system, offered_rps=rate_rps, report=report)
+
+
+def run_saturation_sweep(
+    spec: SweepSpec,
+    systems: Sequence[str] = SYSTEMS,
+    num_gpus: int = 1,
+) -> Dict[str, List[ServePoint]]:
+    """The full curve: every system at every offered load."""
+    curves: Dict[str, List[ServePoint]] = {}
+    for system in systems:
+        curves[system] = [
+            run_serve_point(system, rate, spec, num_gpus=num_gpus)
+            for rate in spec.loads_rps
+        ]
+    return curves
+
+
+def knee_rps(points: Sequence[ServePoint]) -> float:
+    """The saturation knee: the highest offered load whose goodput still
+    tracks the offered line (>= 90 %).  Past the knee, goodput flattens or
+    collapses while tail latency climbs."""
+    knee = 0.0
+    for pt in points:
+        if pt.offered_rps <= 0:
+            continue
+        if pt.report.goodput_rps >= 0.9 * pt.report.offered_rps:
+            knee = max(knee, pt.offered_rps)
+    return knee
+
+
+def curves_as_dict(
+    curves: Dict[str, List[ServePoint]]
+) -> Dict[str, object]:
+    return {
+        system: {
+            "points": [pt.as_dict() for pt in points],
+            "knee_rps": knee_rps(points),
+        }
+        for system, points in sorted(curves.items())
+    }

@@ -17,7 +17,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.telemetry.spans import SpanRecorder
 
 #: Stable process ids per layer so multi-run merges stay readable.
-_LAYER_ORDER = ("sim", "gpu", "nvme", "mem", "core", "bench")
+_LAYER_ORDER = ("sim", "gpu", "nvme", "mem", "core", "serve", "bench")
 
 
 def _layer_pid(layer: str, table: Dict[str, int]) -> int:

@@ -14,8 +14,9 @@ enforce).
 
 from __future__ import annotations
 
+import math
 from collections import defaultdict
-from typing import Callable, Dict, Iterable, Optional
+from typing import Callable, Dict, Iterable, List, Optional
 
 Clock = Callable[[], float]
 
@@ -145,10 +146,16 @@ class Histogram:
     ``bounds`` are inclusive upper edges; one overflow bucket catches the
     rest.  Tracks count/sum/min/max so means survive even with coarse
     buckets.
+
+    Every observed value is also retained exactly, so :meth:`quantile` and
+    :meth:`quantiles` answer percentile queries without bucket
+    interpolation error — the serving layer's SLO reports need the true
+    p99, not an upper-bound estimate.  The stored values sort lazily
+    (amortised: a sort only happens on query, over the unsorted suffix).
     """
 
     __slots__ = ("name", "description", "bounds", "_counts", "count",
-                 "total", "_min", "_max")
+                 "total", "_min", "_max", "_values", "_sorted_len")
 
     def __init__(
         self,
@@ -164,6 +171,8 @@ class Histogram:
         self.total = 0.0
         self._min: Optional[float] = None
         self._max: Optional[float] = None
+        self._values: List[float] = []
+        self._sorted_len = 0
 
     def observe(self, value: float) -> None:
         self.count += 1
@@ -172,6 +181,7 @@ class Histogram:
             self._min = value
         if self._max is None or value > self._max:
             self._max = value
+        self._values.append(value)
         for i, bound in enumerate(self.bounds):
             if value <= bound:
                 self._counts[i] += 1
@@ -180,6 +190,32 @@ class Histogram:
 
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def _ensure_sorted(self) -> None:
+        if self._sorted_len != len(self._values):
+            self._values.sort()
+            self._sorted_len = len(self._values)
+
+    def quantile(self, q: float) -> float:
+        """Exact nearest-rank quantile over every observed value.
+
+        ``q`` is a fraction in [0, 1]; an empty histogram reports 0.0.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile fraction out of range: {q}")
+        if not self._values:
+            return 0.0
+        self._ensure_sorted()
+        rank = math.ceil(q * len(self._values))
+        return self._values[max(rank, 1) - 1]
+
+    def quantiles(self) -> Dict[str, float]:
+        """The standard SLO trio: exact p50 / p95 / p99."""
+        return {
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
 
     def snapshot(self) -> Dict[str, object]:
         buckets = {f"le_{b:g}": n for b, n in zip(self.bounds, self._counts)}
@@ -190,6 +226,7 @@ class Histogram:
             "min": self._min if self._min is not None else 0.0,
             "max": self._max if self._max is not None else 0.0,
             "buckets": buckets,
+            "quantiles": self.quantiles(),
         }
 
     def reset(self) -> None:
@@ -198,3 +235,5 @@ class Histogram:
         self.total = 0.0
         self._min = None
         self._max = None
+        self._values = []
+        self._sorted_len = 0

@@ -224,6 +224,58 @@ class TestStatsDict:
         assert lint_paths([str(f)]) == []
 
 
+class TestServeTerminalStates:
+    def test_adhoc_terminal_assignment_fires(self, tmp_path):
+        src = (
+            "def finish(req, RequestState):\n"
+            "    req.state = RequestState.COMPLETED\n"
+        )
+        v = run_lint(tmp_path, src)
+        assert codes(v) == ["AGL008"]
+        assert "Request.transition" in v[0].message
+
+    def test_private_status_attribute_fires(self, tmp_path):
+        src = (
+            "class Req:\n"
+            "    def shed(self, RequestState):\n"
+            "        self._status = RequestState.SHED\n"
+        )
+        assert codes(run_lint(tmp_path, src)) == ["AGL008"]
+
+    def test_bare_local_state_name_fires(self, tmp_path):
+        src = (
+            "def f(RequestState):\n"
+            "    state = RequestState.ABORTED\n"
+        )
+        assert codes(run_lint(tmp_path, src)) == ["AGL008"]
+
+    def test_serve_request_module_is_exempt(self, tmp_path):
+        serve = tmp_path / "serve"
+        serve.mkdir()
+        f = serve / "request.py"
+        f.write_text(
+            "def transition(self, RequestState):\n"
+            "    self.state = RequestState.COMPLETED\n"
+        )
+        assert lint_paths([str(f)]) == []
+
+    def test_non_state_attribute_is_fine(self, tmp_path):
+        # Recording the terminal enum somewhere other than a state slot
+        # (a result field, a log record) is not a transition.
+        src = (
+            "def f(req, RequestState):\n"
+            "    req.outcome = RequestState.COMPLETED\n"
+        )
+        assert run_lint(tmp_path, src) == []
+
+    def test_non_terminal_enum_member_is_fine(self, tmp_path):
+        src = (
+            "def f(req, RequestState):\n"
+            "    req.state = RequestState.QUEUED\n"
+        )
+        assert run_lint(tmp_path, src) == []
+
+
 class TestCli:
     def test_main_exit_codes(self, tmp_path, capsys):
         dirty = tmp_path / "dirty.py"

@@ -1,0 +1,147 @@
+"""End-to-end serve engine: terminal accounting, determinism, RNG streams."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.arrival import Poisson, TraceReplay
+from repro.serve.backends import AgileServeBackend
+from repro.serve.engine import ServeConfig, ServeEngine
+from repro.serve.request import RequestClass, RequestState, TERMINAL_STATES
+
+from tests.serve.helpers import small_serve_engine
+
+
+class TestRunAccounting:
+    def test_every_request_reaches_exactly_one_terminal(self):
+        engine = small_serve_engine(rate_rps=60_000.0)
+        report = engine.run()
+        assert engine.requests, "window produced no requests"
+        for req in engine.requests:
+            assert req.state in TERMINAL_STATES
+        by_state = {
+            state: sum(1 for r in engine.requests if r.state is state)
+            for state in TERMINAL_STATES
+        }
+        # Report totals are derived purely from counters; they must agree
+        # with the request objects (each counted exactly once).
+        assert report.offered == len(engine.requests)
+        assert report.completed == by_state[RequestState.COMPLETED]
+        assert report.shed == by_state[RequestState.SHED]
+        assert report.aborted == by_state[RequestState.ABORTED]
+        assert (
+            report.completed + report.shed + report.aborted == report.offered
+        )
+
+    def test_completions_carry_latency_and_slo(self):
+        engine = small_serve_engine(rate_rps=40_000.0)
+        report = engine.run()
+        done = [
+            r for r in engine.requests if r.state is RequestState.COMPLETED
+        ]
+        assert done, "expected at least one completion"
+        for req in done:
+            assert req.latency_ns > 0
+        slo_ok = sum(1 for r in done if r.within_slo)
+        cls_report = report.classes["point"]
+        assert cls_report.slo_ok == slo_ok
+        assert cls_report.goodput_rps == pytest.approx(
+            slo_ok / (engine.cfg.duration_ns / 1e9)
+        )
+        assert 0.0 <= cls_report.slo_attainment <= 1.0
+
+    def test_overload_sheds_instead_of_queueing_forever(self):
+        engine = small_serve_engine(
+            rate_rps=2_000_000.0,  # far past a 1-SSD machine's capacity
+            duration_ns=300_000.0,
+            admission_capacity=8,
+        )
+        report = engine.run()
+        assert report.shed > 0
+        # Nothing vanished: the books still balance under overload.
+        assert (
+            report.completed + report.shed + report.aborted == report.offered
+        )
+
+    def test_engine_is_one_shot(self):
+        engine = small_serve_engine(duration_ns=100_000.0)
+        engine.run()
+        with pytest.raises(RuntimeError):
+            engine.run()
+
+    def test_requires_arrival_per_class(self):
+        from tests.helpers import small_config
+
+        backend = AgileServeBackend(small_config())
+        classes = [RequestClass(name="a"), RequestClass(name="b")]
+        with pytest.raises(ValueError, match="no arrival process"):
+            ServeEngine(backend, classes, {"a": Poisson(1000.0)})
+
+
+class TestDeterminism:
+    def test_same_seed_same_report(self):
+        a = small_serve_engine(seed=11).run()
+        b = small_serve_engine(seed=11).run()
+        assert a.as_dict() == b.as_dict()
+
+    def test_same_seed_same_request_timeline(self):
+        ea = small_serve_engine(seed=11)
+        eb = small_serve_engine(seed=11)
+        ea.run()
+        eb.run()
+        assert [
+            (r.arrival_ns, r.pages) for r in ea.requests
+        ] == [(r.arrival_ns, r.pages) for r in eb.requests]
+
+    def test_different_seed_different_timeline(self):
+        ea = small_serve_engine(seed=11)
+        eb = small_serve_engine(seed=12)
+        ea.run()
+        eb.run()
+        assert [
+            (r.arrival_ns, r.pages) for r in ea.requests
+        ] != [(r.arrival_ns, r.pages) for r in eb.requests]
+
+    def test_per_class_streams_are_independent(self):
+        """Adding a second class must not perturb the first class's
+        arrivals — each class draws from its own named stream."""
+
+        def timeline(classes, arrivals):
+            engine = small_serve_engine(
+                seed=11, classes=classes, arrivals=arrivals
+            )
+            engine.run()
+            return [
+                (r.arrival_ns, r.pages)
+                for r in engine.requests
+                if r.cls.name == "point"
+            ]
+
+        point = RequestClass(
+            name="point", pages=1, slo_ns=1_500_000.0, lba_space=256
+        )
+        scan = RequestClass(
+            name="scan", pages=2, slo_ns=3_000_000.0, lba_space=256
+        )
+        solo = timeline([point], {"point": Poisson(30_000.0)})
+        mixed = timeline(
+            [point, scan],
+            {"point": Poisson(30_000.0), "scan": Poisson(10_000.0)},
+        )
+        assert solo == mixed
+
+
+class TestTraceReplayIntegration:
+    def test_trace_pages_flow_into_requests(self):
+        cls = RequestClass(name="trace", pages=1, slo_ns=1_500_000.0)
+        coords = [((0, 5),), ((0, 9),), ((0, 13),)]
+        trace = TraceReplay([40_000.0, 40_000.0, 40_000.0], pages=coords)
+        engine = small_serve_engine(
+            duration_ns=400_000.0,
+            classes=[cls],
+            arrivals={"trace": trace},
+        )
+        engine.run()
+        assert engine.requests, "trace produced no requests"
+        for i, req in enumerate(engine.requests):
+            assert req.pages == coords[i % len(coords)]

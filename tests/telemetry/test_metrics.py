@@ -89,6 +89,58 @@ class TestHistogram:
         h.reset()
         assert h.snapshot()["count"] == 0
 
+    def test_exact_quantiles_nearest_rank(self):
+        h = Histogram("lat", buckets=(50,))
+        for v in range(1, 101):  # 1..100
+            h.observe(v)
+        # Nearest-rank on n=100: p50 -> rank 50, p95 -> 95, p99 -> 99.
+        assert h.quantile(0.50) == 50
+        assert h.quantile(0.95) == 95
+        assert h.quantile(0.99) == 99
+        assert h.quantile(0.0) == 1   # clamps to the smallest observation
+        assert h.quantile(1.0) == 100
+        assert h.quantiles() == {"p50": 50, "p95": 95, "p99": 99}
+
+    def test_quantiles_unaffected_by_observation_order(self):
+        a, b = Histogram(), Histogram()
+        values = [9.0, 1.0, 5.0, 3.0, 7.0]
+        for v in values:
+            a.observe(v)
+        for v in sorted(values):
+            b.observe(v)
+        assert a.quantiles() == b.quantiles()
+        assert a.quantile(0.5) == 5.0
+
+    def test_quantiles_interleave_with_observes(self):
+        # The lazy sort must re-sort after new observations arrive.
+        h = Histogram()
+        h.observe(10.0)
+        assert h.quantile(0.99) == 10.0
+        h.observe(20.0)
+        assert h.quantile(0.99) == 20.0
+
+    def test_empty_histogram_quantiles_are_zero(self):
+        h = Histogram()
+        assert h.quantile(0.5) == 0.0
+        assert h.quantiles() == {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+
+    def test_quantile_rejects_out_of_range(self):
+        h = Histogram()
+        with pytest.raises(ValueError):
+            h.quantile(-0.1)
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_snapshot_carries_quantiles_and_reset_clears(self):
+        h = Histogram(buckets=(4,))
+        for v in (1.0, 2.0, 3.0):
+            h.observe(v)
+        assert h.snapshot()["quantiles"] == {"p50": 2.0, "p95": 3.0,
+                                             "p99": 3.0}
+        h.reset()
+        assert h.snapshot()["quantiles"] == {"p50": 0.0, "p95": 0.0,
+                                             "p99": 0.0}
+
 
 class TestRegistry:
     def test_instruments_are_get_or_create(self):
