@@ -5,6 +5,9 @@ runtime invariant checker attached, then replays the recorded event stream
 through the offline race/lock-order analyzers and prints a report.
 ``lint`` runs the static simulation-safety lint (same as
 ``python -m repro.analysis.lint``).
+``flow`` runs the CFG/dataflow static analysis (determinism taint,
+unit consistency, lock-release paths) with SARIF and baseline support
+(same as ``python -m repro.analysis.flow``; see ``flow --help``).
 """
 
 from __future__ import annotations
@@ -80,6 +83,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     check.add_argument("--verbose", action="store_true")
     lint = sub.add_parser("lint", help="run the simulation-safety lint")
     lint.add_argument("paths", nargs="*", default=["src/repro"])
+    sub.add_parser(
+        "flow",
+        help="run the CFG/dataflow analysis (AGL009-AGL012); "
+        "arguments follow, see `flow --help`",
+        add_help=False,
+    )
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv[:1] == ["flow"]:
+        from repro.analysis.flow import main as flow_main
+
+        return flow_main(argv[1:])
     args = parser.parse_args(argv)
     if args.command == "lint":
         from repro.analysis.lint import main as lint_main

@@ -1,0 +1,342 @@
+"""Per-function control-flow graphs over Python ASTs.
+
+Blocks hold *simple* statements plus three pseudo-items that make loop and
+branch structure visible to transfer functions without recursing into
+bodies:
+
+- :class:`Test` — the test expression of an ``if``/``while``; the block's
+  outgoing ``true``/``false`` edges refer to it (used for
+  ``try_acquire``-style path sensitivity).
+- :class:`ForBind` — a ``for`` header: evaluate the iterable, bind the
+  targets.  Carries the loop so rule packs can reason about iteration
+  order (AGL010).
+- :class:`WithBind` — one ``with`` item: evaluate the context expression,
+  bind the optional ``as`` target.
+
+Edges are labelled ``norm``/``true``/``false``/``ex``.  ``ex`` edges
+over-approximate exception flow (every statement in a ``try`` body may
+jump to every handler); analyses that only care about non-exception paths
+(lock-release checking) simply skip them.
+
+Known imprecision, by design: ``while True`` loops get no false edge (so
+code after them is only reachable via ``break``); a bare ``raise`` or an
+uncaught exception ends in the distinguished ``raise_exit`` block, which
+is *not* the normal ``exit``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Union
+
+EdgeKind = str  # "norm" | "true" | "false" | "ex"
+
+
+@dataclass
+class Test:
+    """Branch/loop test pseudo-statement."""
+
+    expr: ast.expr
+    node: ast.stmt
+
+
+@dataclass
+class ForBind:
+    """``for target in iter`` header pseudo-statement."""
+
+    target: ast.expr
+    iter: ast.expr
+    node: ast.stmt
+
+
+@dataclass
+class WithBind:
+    """One ``with ctx as target`` item pseudo-statement."""
+
+    ctx: ast.expr
+    target: Optional[ast.expr]
+    node: ast.stmt
+
+
+Item = Union[ast.stmt, Test, ForBind, WithBind]
+
+
+@dataclass
+class Edge:
+    target: "Block"
+    kind: EdgeKind
+
+
+@dataclass
+class Block:
+    id: int
+    items: List[Item] = field(default_factory=list)
+    edges: List[Edge] = field(default_factory=list)
+
+    def edge_to(self, target: "Block", kind: EdgeKind = "norm") -> None:
+        for e in self.edges:
+            if e.target is target and e.kind == kind:
+                return
+        self.edges.append(Edge(target, kind))
+
+
+@dataclass
+class Cfg:
+    """One function's control-flow graph."""
+
+    func: Union[ast.FunctionDef, ast.AsyncFunctionDef]
+    blocks: List[Block]
+    entry: Block
+    exit: Block
+    raise_exit: Block
+
+
+@dataclass
+class _Loop:
+    head: Block
+    after: Block
+
+
+@dataclass
+class _Finally:
+    entry: Block
+    exit_block: Block
+    #: Continuation blocks the finally must fall through to (loop heads for
+    #: ``continue``, loop afters for ``break``, function exit for ``return``).
+    conts: List[Block] = field(default_factory=list)
+
+    def add_cont(self, block: Block) -> None:
+        if block not in self.conts:
+            self.conts.append(block)
+
+
+class _Builder:
+    def __init__(self, func: Union[ast.FunctionDef, ast.AsyncFunctionDef]):
+        self.func = func
+        self.blocks: List[Block] = []
+        self.entry = self.new_block()
+        self.exit = self.new_block()
+        self.raise_exit = self.new_block()
+        self.loops: List[_Loop] = []
+        self.finallies: List[_Finally] = []
+
+    def new_block(self) -> Block:
+        block = Block(id=len(self.blocks))
+        self.blocks.append(block)
+        return block
+
+    # -- non-local jumps, routed through enclosing finally blocks ------------
+
+    def _jump(self, cur: Block, target: Block) -> None:
+        """Edge ``cur -> target``, detouring through the innermost pending
+        ``finally`` (approximate: one level is enough for this codebase)."""
+        if self.finallies:
+            fin = self.finallies[-1]
+            cur.edge_to(fin.entry)
+            fin.add_cont(target)
+        else:
+            cur.edge_to(target)
+
+    # -- statement sequencing -------------------------------------------------
+
+    def seq(self, stmts: Sequence[ast.stmt], cur: Block) -> Block:
+        for stmt in stmts:
+            cur = self.stmt(stmt, cur)
+        return cur
+
+    def stmt(self, node: ast.stmt, cur: Block) -> Block:
+        if isinstance(node, ast.If):
+            return self._if(node, cur)
+        if isinstance(node, (ast.While,)):
+            return self._while(node, cur)
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            return self._for(node, cur)
+        if isinstance(node, (ast.Try,)):
+            return self._try(node, cur)
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            return self._with(node, cur)
+        if isinstance(node, ast.Match):
+            return self._match(node, cur)
+        if isinstance(node, ast.Return):
+            cur.items.append(node)
+            self._jump(cur, self.exit)
+            return self.new_block()  # unreachable continuation
+        if isinstance(node, ast.Raise):
+            cur.items.append(node)
+            cur.edge_to(self.raise_exit, "ex")
+            return self.new_block()
+        if isinstance(node, ast.Break):
+            if self.loops:
+                self._jump(cur, self.loops[-1].after)
+            return self.new_block()
+        if isinstance(node, ast.Continue):
+            if self.loops:
+                self._jump(cur, self.loops[-1].head)
+            return self.new_block()
+        # Nested defs/classes are opaque statements here; their bodies get
+        # their own CFGs from build_cfgs().
+        cur.items.append(node)
+        return cur
+
+    def _if(self, node: ast.If, cur: Block) -> Block:
+        cur.items.append(Test(node.test, node))
+        then_entry = self.new_block()
+        after = self.new_block()
+        cur.edge_to(then_entry, "true")
+        then_exit = self.seq(node.body, then_entry)
+        then_exit.edge_to(after)
+        if node.orelse:
+            else_entry = self.new_block()
+            cur.edge_to(else_entry, "false")
+            else_exit = self.seq(node.orelse, else_entry)
+            else_exit.edge_to(after)
+        else:
+            cur.edge_to(after, "false")
+        return after
+
+    @staticmethod
+    def _is_const_true(expr: ast.expr) -> bool:
+        return isinstance(expr, ast.Constant) and bool(expr.value) is True
+
+    def _while(self, node: ast.While, cur: Block) -> Block:
+        head = self.new_block()
+        after = self.new_block()
+        cur.edge_to(head)
+        head.items.append(Test(node.test, node))
+        body_entry = self.new_block()
+        head.edge_to(body_entry, "true")
+        if not self._is_const_true(node.test):
+            if node.orelse:
+                else_entry = self.new_block()
+                head.edge_to(else_entry, "false")
+                self.seq(node.orelse, else_entry).edge_to(after)
+            else:
+                head.edge_to(after, "false")
+        self.loops.append(_Loop(head, after))
+        body_exit = self.seq(node.body, body_entry)
+        self.loops.pop()
+        body_exit.edge_to(head)
+        return after
+
+    def _for(self, node: Union[ast.For, ast.AsyncFor], cur: Block) -> Block:
+        head = self.new_block()
+        after = self.new_block()
+        cur.edge_to(head)
+        head.items.append(ForBind(node.target, node.iter, node))
+        body_entry = self.new_block()
+        head.edge_to(body_entry, "true")
+        if node.orelse:
+            else_entry = self.new_block()
+            head.edge_to(else_entry, "false")
+            self.seq(node.orelse, else_entry).edge_to(after)
+        else:
+            head.edge_to(after, "false")
+        self.loops.append(_Loop(head, after))
+        body_exit = self.seq(node.body, body_entry)
+        self.loops.pop()
+        body_exit.edge_to(head)
+        return after
+
+    def _with(self, node: Union[ast.With, ast.AsyncWith], cur: Block) -> Block:
+        for item in node.items:
+            cur.items.append(WithBind(item.context_expr, item.optional_vars, node))
+        return self.seq(node.body, cur)
+
+    def _match(self, node: ast.Match, cur: Block) -> Block:
+        cur.items.append(ast.Expr(value=node.subject))
+        after = self.new_block()
+        for case in node.cases:
+            case_entry = self.new_block()
+            cur.edge_to(case_entry, "true")
+            self.seq(case.body, case_entry).edge_to(after)
+        cur.edge_to(after, "false")
+        return after
+
+    def _try(self, node: ast.Try, cur: Block) -> Block:
+        after = self.new_block()
+        fin: Optional[_Finally] = None
+        if node.finalbody:
+            fin_entry = self.new_block()
+            fin = _Finally(entry=fin_entry, exit_block=fin_entry)
+            self.finallies.append(fin)
+
+        body_entry = self.new_block()
+        cur.edge_to(body_entry)
+        first_body_block = len(self.blocks)
+        body_exit = self.seq(node.body, body_entry)
+        if node.orelse:
+            body_exit = self.seq(node.orelse, body_exit)
+        body_range = [body_entry] + self.blocks[first_body_block:]
+
+        handler_exits: List[Block] = []
+        for handler in node.handlers:
+            h_entry = self.new_block()
+            for block in body_range:
+                block.edge_to(h_entry, "ex")
+            handler_exits.append(self.seq(handler.body, h_entry))
+
+        if fin is not None:
+            self.finallies.pop()
+            fin_exit = self.seq(node.finalbody, fin.entry)
+            fin.exit_block = fin_exit
+            body_exit.edge_to(fin.entry)
+            for h_exit in handler_exits:
+                h_exit.edge_to(fin.entry)
+            if not node.handlers:
+                for block in body_range:
+                    block.edge_to(fin.entry, "ex")
+                fin_exit.edge_to(self.raise_exit, "ex")
+            fin_exit.edge_to(after)
+            for cont in fin.conts:
+                fin_exit.edge_to(cont)
+        else:
+            body_exit.edge_to(after)
+            for h_exit in handler_exits:
+                h_exit.edge_to(after)
+            if not node.handlers:
+                for block in body_range:
+                    block.edge_to(self.raise_exit, "ex")
+        return after
+
+    def build(self) -> Cfg:
+        last = self.seq(self.func.body, self.entry)
+        last.edge_to(self.exit)
+        return Cfg(
+            func=self.func,
+            blocks=self.blocks,
+            entry=self.entry,
+            exit=self.exit,
+            raise_exit=self.raise_exit,
+        )
+
+
+def build_cfg(func: Union[ast.FunctionDef, ast.AsyncFunctionDef]) -> Cfg:
+    """Build the CFG for one function's own body (nested defs opaque)."""
+    return _Builder(func).build()
+
+
+def iter_functions(
+    tree: ast.Module,
+) -> List[Union[ast.FunctionDef, ast.AsyncFunctionDef]]:
+    """Every function/method in the module, in source order (nested
+    functions included — each gets its own CFG)."""
+    out: List[Union[ast.FunctionDef, ast.AsyncFunctionDef]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            out.append(node)
+    out.sort(key=lambda fn: (fn.lineno, fn.col_offset))
+    return out
+
+
+__all__ = [
+    "Block",
+    "Cfg",
+    "Edge",
+    "ForBind",
+    "Item",
+    "Test",
+    "WithBind",
+    "build_cfg",
+    "iter_functions",
+]

@@ -1,0 +1,114 @@
+"""A small forward fixed-point dataflow engine over :mod:`~repro.analysis.cfg`.
+
+Environments are plain ``dict[str, V]`` mapping variable names to lattice
+values; absent keys mean bottom.  A rule pack supplies:
+
+- ``transfer(env, item) -> env`` — the per-item transfer function (must be
+  pure: findings are emitted in a separate reporting sweep after the
+  solution stabilises, so revisits during iteration never duplicate them);
+- ``join_value(a, b) -> V`` — the value lattice's join;
+- optionally ``edge_transfer(env, block, edge) -> env`` — refine the
+  environment along a labelled edge (e.g. ``try_acquire`` true-branches).
+
+Termination holds because every value lattice used here has finite height
+(taint label sets over a finite label universe; the small unit enum; sets
+of acquire sites) and joins only move up.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, Generic, Optional, Set, TypeVar
+
+from repro.analysis.cfg import Block, Cfg, Edge, Item
+
+V = TypeVar("V")
+Env = Dict[str, V]
+
+
+def join_envs(
+    a: "Env[V]", b: "Env[V]", join_value: Callable[[V, V], V]
+) -> "Env[V]":
+    """Pointwise join; keys missing on one side keep the other's value
+    (bottom joins to the present value)."""
+    if not a:
+        return dict(b)
+    if not b:
+        return dict(a)
+    out = dict(a)
+    for key, val in b.items():
+        have = out.get(key)
+        out[key] = val if have is None else join_value(have, val)
+    return out
+
+
+def envs_equal(a: "Env[V]", b: "Env[V]") -> bool:
+    return a == b
+
+
+class ForwardSolver(Generic[V]):
+    """Worklist solver producing a stable in-environment per block."""
+
+    def __init__(
+        self,
+        graph: Cfg,
+        *,
+        transfer: Callable[["Env[V]", Item], "Env[V]"],
+        join_value: Callable[[V, V], V],
+        edge_transfer: Optional[
+            Callable[["Env[V]", Block, Edge], "Env[V]"]
+        ] = None,
+        follow_exceptional: bool = True,
+    ) -> None:
+        self.graph = graph
+        self.transfer = transfer
+        self.join_value = join_value
+        self.edge_transfer = edge_transfer
+        self.follow_exceptional = follow_exceptional
+        self.block_in: Dict[int, Env[V]] = {}
+
+    def solve(self, init: Optional["Env[V]"] = None) -> Dict[int, "Env[V]"]:
+        self.block_in = {self.graph.entry.id: dict(init or {})}
+        worklist: Deque[Block] = deque([self.graph.entry])
+        queued: Set[int] = {self.graph.entry.id}
+        while worklist:
+            block = worklist.popleft()
+            queued.discard(block.id)
+            env = dict(self.block_in.get(block.id, {}))
+            for item in block.items:
+                env = self.transfer(env, item)
+            for edge in block.edges:
+                if edge.kind == "ex" and not self.follow_exceptional:
+                    continue
+                out = env
+                if self.edge_transfer is not None:
+                    out = self.edge_transfer(dict(env), block, edge)
+                have = self.block_in.get(edge.target.id)
+                merged = (
+                    dict(out)
+                    if have is None
+                    else join_envs(have, out, self.join_value)
+                )
+                if have is None or not envs_equal(have, merged):
+                    self.block_in[edge.target.id] = merged
+                    if edge.target.id not in queued:
+                        worklist.append(edge.target)
+                        queued.add(edge.target.id)
+        return self.block_in
+
+    def sweep(
+        self, report: Callable[["Env[V]", Block, Item], "Env[V]"]
+    ) -> None:
+        """One deterministic post-solution pass over every reachable block,
+        in block-id order, re-running the transfer via ``report`` (which
+        may emit findings and must return the post-item environment)."""
+        for block in self.graph.blocks:
+            env = self.block_in.get(block.id)
+            if env is None:
+                continue
+            env = dict(env)
+            for item in block.items:
+                env = report(env, block, item)
+
+
+__all__ = ["Env", "ForwardSolver", "envs_equal", "join_envs"]

@@ -52,6 +52,10 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, List, Optional, Sequence, Set
 
+from repro.analysis.source import SourceFile, SourceSession, iter_python_files
+
+__all__ = ["Violation", "iter_python_files", "lint_files", "lint_paths", "main"]
+
 WALLCLOCK_CALLS = {
     "time.time",
     "time.monotonic",
@@ -391,15 +395,6 @@ class _FileLinter:
             )
 
 
-def iter_python_files(paths: Sequence[str]) -> Iterable[Path]:
-    for raw in paths:
-        p = Path(raw)
-        if p.is_dir():
-            yield from sorted(p.rglob("*.py"))
-        elif p.suffix == ".py":
-            yield p
-
-
 def _harvest_config_classes(trees: Iterable[ast.Module]) -> Set[str]:
     """Attribute names of every ``*Config``/``*Spec`` class defined in the
     linted files — variables named ``cfg``/``config`` often hold local
@@ -426,27 +421,38 @@ def _harvest_config_classes(trees: Iterable[ast.Module]) -> Set[str]:
     return names
 
 
-def lint_paths(paths: Sequence[str]) -> List[Violation]:
-    violations: List[Violation] = []
-    parsed: List[tuple[Path, ast.Module]] = []
-    for path in iter_python_files(paths):
-        try:
-            tree = ast.parse(path.read_text(encoding="utf-8"))
-        except SyntaxError as exc:
-            violations.append(
-                Violation(str(path), exc.lineno or 0, 0, "AGL000",
-                          f"syntax error: {exc.msg}")
-            )
-            continue
-        parsed.append((path, tree))
+def lint_files(
+    files: Sequence[SourceFile], extra: Iterable[Violation] = ()
+) -> List[Violation]:
+    """Lint already-parsed files (the shared
+    :class:`~repro.analysis.source.SourceSession` path: parse once, share
+    the ASTs with the flow engine).  Output is sorted by
+    (path, line, col, code) so reports diff cleanly."""
+    violations: List[Violation] = list(extra)
     config_attrs = _config_attr_names() | _harvest_config_classes(
-        tree for _, tree in parsed
+        f.tree for f in files
     )
-    for path, tree in parsed:
+    for f in files:
         violations.extend(
-            _FileLinter(path, tree, config_attrs, str(path)).run()
+            _FileLinter(f.path, f.tree, config_attrs, f.display).run()
         )
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.code, v.message))
     return violations
+
+
+def lint_paths(
+    paths: Sequence[str], session: Optional[SourceSession] = None
+) -> List[Violation]:
+    """Lint files/directories, parsing through ``session`` (a fresh cache
+    when not given)."""
+    session = session or SourceSession()
+    before = len(session.errors)
+    files = session.files(paths)
+    syntax = [
+        Violation(e.path, e.line, e.col, e.rule, e.message)
+        for e in session.errors[before:]
+    ]
+    return lint_files(files, extra=syntax)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:

@@ -115,13 +115,26 @@ class LockOrderAnalyzer:
             )
         return found
 
+    def edge_pairs(self) -> Set[Tuple[str, str]]:
+        """The dynamic acquisition-order edges (held, acquired) — the
+        graph the static :mod:`repro.analysis.lockflow` pass
+        cross-validates against."""
+        return set(self._edges)
+
     def cycles(self) -> List[List[str]]:
         """Simple cycles in the acquisition-order graph (covers chains of
-        length > 2 that pairwise inspection misses: A->B->C->A)."""
+        length > 2 that pairwise inspection misses: A->B->C->A).
+
+        Output is canonical — each cycle rotated so its smallest node
+        comes first, deduplicated, and the list sorted — so reports and
+        committed baselines diff cleanly between runs regardless of event
+        insertion order.
+        """
         graph: Dict[str, Set[str]] = {}
         for a, b in self._edges:
             graph.setdefault(a, set()).add(b)
         out: List[List[str]] = []
+        seen: Set[Tuple[str, ...]] = set()
         visiting: List[str] = []
         state: Dict[str, int] = {}  # 0 unvisited / 1 on stack / 2 done
 
@@ -130,8 +143,13 @@ class LockOrderAnalyzer:
             visiting.append(node)
             for nxt in sorted(graph.get(node, ())):
                 if state.get(nxt, 0) == 1:
-                    cycle = visiting[visiting.index(nxt):] + [nxt]
-                    out.append(cycle)
+                    nodes = visiting[visiting.index(nxt):]
+                    pivot = nodes.index(min(nodes))
+                    nodes = nodes[pivot:] + nodes[:pivot]
+                    key = tuple(nodes)
+                    if key not in seen:
+                        seen.add(key)
+                        out.append(nodes + [nodes[0]])
                 elif state.get(nxt, 0) == 0:
                     dfs(nxt)
             visiting.pop()
@@ -140,6 +158,7 @@ class LockOrderAnalyzer:
         for node in sorted(graph):
             if state.get(node, 0) == 0:
                 dfs(node)
+        out.sort()
         return out
 
 

@@ -1,0 +1,275 @@
+"""SARIF 2.1.0 export and the committed findings baseline.
+
+The flow CLI fails CI only on findings that are **new** relative to a
+committed baseline file (``flow-baseline.json`` at the repo root):
+pre-existing accepted findings carry a one-line justification, keep the
+tree auditable, and stop the gate from blocking unrelated PRs.  Baseline
+matching is by :meth:`~repro.analysis.source.Finding.fingerprint` —
+rule + path + message, line-independent — so edits above a finding do
+not invalidate its entry.
+
+:func:`to_sarif` emits a SARIF 2.1.0 log consumable by GitHub code
+scanning; baselined findings are included with an ``external``
+suppression (so they annotate but do not alert), new findings are plain
+results.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.source import Finding, sort_findings
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: Rule metadata for the SARIF ``tool.driver.rules`` table (and ``--help``).
+RULES: Dict[str, Tuple[str, str]] = {
+    "AGL000": (
+        "Syntax error",
+        "The file could not be parsed; no other rule ran on it.",
+    ),
+    "AGL009": (
+        "Determinism taint reaches a scheduler/seed sink",
+        "A value derived from a nondeterministic source (id(), hash(), "
+        "set iteration, dict.popitem, wall clock, unseeded RNG) flows "
+        "into a scheduler delay, event payload, or RngStreams seed — "
+        "two runs of the same seed can diverge.",
+    ),
+    "AGL010": (
+        "Order-dependent float accumulation",
+        "A float reduction accumulates over an unordered collection; "
+        "non-associative addition makes the total depend on iteration "
+        "order.  Iterate sorted(...) instead.",
+    ),
+    "AGL011": (
+        "Unit inconsistency",
+        "Mixed-unit arithmetic (ns/bytes/pages/cycles inferred from "
+        "naming conventions) or a unit-less constant used as a "
+        "scheduler delay.",
+    ),
+    "AGL012": (
+        "Unreleased lock/slot on a non-exception path",
+        "An acquired lock, SQ slot, or pinned cache line does not reach "
+        "a matching release on every non-exception path, or the static "
+        "lock-order graph contains a cycle.",
+    ),
+}
+
+
+@dataclass
+class BaselineEntry:
+    fingerprint: str
+    rule: str
+    path: str
+    message: str
+    justification: str
+
+    def to_dict(self) -> Dict[str, str]:
+        return {
+            "fingerprint": self.fingerprint,
+            "rule": self.rule,
+            "path": self.path,
+            "message": self.message,
+            "justification": self.justification,
+        }
+
+
+@dataclass
+class Baseline:
+    """The committed set of accepted findings."""
+
+    entries: List[BaselineEntry] = field(default_factory=list)
+
+    @property
+    def by_fingerprint(self) -> Dict[str, BaselineEntry]:
+        return {e.fingerprint: e for e in self.entries}
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        if not path.exists():
+            return cls()
+        data = json.loads(path.read_text(encoding="utf-8"))
+        entries = [
+            BaselineEntry(
+                fingerprint=str(e["fingerprint"]),
+                rule=str(e.get("rule", "")),
+                path=str(e.get("path", "")),
+                message=str(e.get("message", "")),
+                justification=str(e.get("justification", "")),
+            )
+            for e in data.get("entries", [])
+        ]
+        return cls(entries=entries)
+
+    def save(self, path: Path) -> None:
+        payload = {
+            "version": 1,
+            "tool": "python -m repro.analysis flow",
+            "note": (
+                "Accepted static-analysis findings.  Refresh with "
+                "`python -m repro.analysis flow --update-baseline` and "
+                "give every new entry a one-line justification."
+            ),
+            "entries": [
+                e.to_dict()
+                for e in sorted(
+                    self.entries,
+                    key=lambda e: (e.path, e.rule, e.message),
+                )
+            ],
+        }
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=False) + "\n",
+            encoding="utf-8",
+        )
+
+    def split(
+        self, findings: Sequence[Finding]
+    ) -> Tuple[List[Finding], List[Finding], List[BaselineEntry]]:
+        """Partition into (new, baselined) findings plus stale entries
+        (baselined but no longer reported — candidates for removal)."""
+        known = self.by_fingerprint
+        new: List[Finding] = []
+        old: List[Finding] = []
+        hit: set[str] = set()
+        for f in sort_findings(findings):
+            fp = f.fingerprint()
+            if fp in known:
+                old.append(f)
+                hit.add(fp)
+            else:
+                new.append(f)
+        stale = [e for e in self.entries if e.fingerprint not in hit]
+        return new, old, stale
+
+    def updated(
+        self, findings: Sequence[Finding], placeholder: str = "TODO: justify"
+    ) -> "Baseline":
+        """A refreshed baseline covering exactly the current findings,
+        preserving existing justifications."""
+        known = self.by_fingerprint
+        out: List[BaselineEntry] = []
+        seen: set[str] = set()
+        for f in sort_findings(findings):
+            fp = f.fingerprint()
+            if fp in seen:
+                continue
+            seen.add(fp)
+            prior = known.get(fp)
+            out.append(
+                BaselineEntry(
+                    fingerprint=fp,
+                    rule=f.rule,
+                    path=f.path,
+                    message=f.message,
+                    justification=(
+                        prior.justification if prior is not None else placeholder
+                    ),
+                )
+            )
+        return Baseline(entries=out)
+
+
+def to_sarif(
+    findings: Sequence[Finding],
+    baseline: Optional[Baseline] = None,
+    tool_version: str = "1.0.0",
+) -> Dict[str, object]:
+    """Build a SARIF 2.1.0 log.  Baselined findings carry an ``external``
+    suppression; new findings none."""
+    known = baseline.by_fingerprint if baseline is not None else {}
+    rule_ids = sorted(RULES)
+    rule_index = {rid: i for i, rid in enumerate(rule_ids)}
+    results: List[Dict[str, object]] = []
+    for f in sort_findings(findings):
+        fp = f.fingerprint()
+        result: Dict[str, object] = {
+            "ruleId": f.rule,
+            "ruleIndex": rule_index.get(f.rule, -1),
+            "level": "error",
+            "message": {"text": f.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": f.path,
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {
+                            "startLine": max(1, f.line),
+                            "startColumn": max(1, f.col + 1),
+                        },
+                    }
+                }
+            ],
+            "partialFingerprints": {"agileFlow/v1": fp},
+        }
+        entry = known.get(fp)
+        if entry is not None:
+            result["suppressions"] = [
+                {
+                    "kind": "external",
+                    "justification": entry.justification,
+                }
+            ]
+        results.append(result)
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-flow",
+                        "informationUri": (
+                            "https://example.invalid/repro/analysis#flow"
+                        ),
+                        "version": tool_version,
+                        "rules": [
+                            {
+                                "id": rid,
+                                "name": RULES[rid][0].replace(" ", ""),
+                                "shortDescription": {"text": RULES[rid][0]},
+                                "fullDescription": {"text": RULES[rid][1]},
+                                "defaultConfiguration": {"level": "error"},
+                            }
+                            for rid in rule_ids
+                        ],
+                    }
+                },
+                "originalUriBaseIds": {
+                    "SRCROOT": {"description": {"text": "repository root"}}
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def write_sarif(
+    findings: Sequence[Finding],
+    path: Path,
+    baseline: Optional[Baseline] = None,
+) -> None:
+    path.write_text(
+        json.dumps(to_sarif(findings, baseline), indent=2) + "\n",
+        encoding="utf-8",
+    )
+
+
+__all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "RULES",
+    "SARIF_SCHEMA",
+    "SARIF_VERSION",
+    "to_sarif",
+    "write_sarif",
+]

@@ -43,6 +43,7 @@ class NaiveAsyncEngine:
     """Asynchronous issuing with thread-held SQE locks (Figure 1 lines 1-5)."""
 
     DOORBELL_BACKOFF_NS = 60.0
+    STALL_POLL_NS = 200.0
 
     def __init__(
         self,
@@ -161,8 +162,8 @@ class NaiveAsyncEngine:
                     raise SimStallError(
                         self._stall_report(chain, pending, stalled_ns)
                     )
-                yield Timeout(200.0)
-                stalled_ns += 200.0
+                yield Timeout(self.STALL_POLL_NS)
+                stalled_ns += self.STALL_POLL_NS
 
     def _stall_report(
         self,

@@ -1,0 +1,39 @@
+"""Known-bad corpus for AGL009: nondeterminism reaching scheduler sinks."""
+
+
+def id_into_delay(sim, buf):
+    delay = id(buf) % 128
+    sim.schedule_at(sim.now + delay, print)
+
+
+def helper(x):
+    return id(x)
+
+
+def interprocedural_leak(sim, buf):
+    d = helper(buf)
+    sim.schedule_at(sim.now + d, print)
+
+
+def set_iteration_order(sim, pages):
+    for page in {p for p in pages}:
+        sim.schedule_immediate(print, page)
+
+
+def dict_popitem_order(sim, pending):
+    key, token = pending.popitem()
+    sim.schedule_immediate(token.succeed, key)
+
+
+def unseeded_rng_seed():
+    import random
+
+    from repro.sim.rng import RngStreams
+
+    return RngStreams(seed=random.random())
+
+
+def wallclock_delay(sim):
+    import time
+
+    sim.schedule_at(time.time(), print)

@@ -1,0 +1,24 @@
+"""Known-clean corpus for AGL009: sanitized or ordered flows to sinks."""
+
+
+def sorted_iteration(sim, pages):
+    for page in sorted(set(pages)):
+        sim.schedule_immediate(print, page)
+
+
+def constant_delay(sim):
+    sim.schedule_at(sim.now + 100.0, print)
+
+
+def id_for_logging_only(buf):
+    return f"buf@{id(buf):#x}"
+
+
+def min_of_set(sim, deadlines_ns):
+    sim.schedule_at(min(deadlines_ns), print)
+
+
+def seeded_rng():
+    from repro.sim.rng import RngStreams
+
+    return RngStreams(seed=42)

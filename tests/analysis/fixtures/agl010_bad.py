@@ -1,0 +1,19 @@
+"""Known-bad corpus for AGL010: float accumulation in unordered iteration."""
+
+
+def sum_over_set(latencies):
+    return sum(set(latencies))
+
+
+def augmented_accumulation(samples):
+    total = 0.0
+    for value in set(samples):
+        total += value * 2.0
+    return total
+
+
+def plain_binop_accumulation(samples):
+    acc = 0.0
+    for value in frozenset(samples):
+        acc = acc + value
+    return acc

@@ -1,0 +1,19 @@
+"""Known-clean corpus for AGL010: ordered or integer-safe accumulation."""
+
+
+def sum_over_sorted(latencies):
+    return sum(sorted(set(latencies)))
+
+
+def accumulate_over_list(samples):
+    total = 0.0
+    for value in samples:
+        total += value * 2.0
+    return total
+
+
+def count_members(samples):
+    n = 0
+    for _ in set(samples):
+        n += 1
+    return n

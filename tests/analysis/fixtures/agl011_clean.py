@@ -1,0 +1,27 @@
+"""Known-clean corpus for AGL011: consistent units and conversions."""
+
+POLL_NS = 200.0
+
+
+def add_matching_ns(lat_ns, queue_ns):
+    return lat_ns + queue_ns
+
+
+def convert_pages_to_bytes(num_pages, page_size):
+    return num_pages * page_size
+
+
+def scale_by_ratio(len_bytes, bytes_per_ns):
+    return len_bytes / bytes_per_ns
+
+
+def named_constant_delay(sim):
+    sim.schedule_at(POLL_NS, print)
+
+
+def offset_from_now(sim, backoff_ns):
+    sim.schedule_at(sim.now + backoff_ns, print)
+
+
+def zero_delay_is_fine(sim):
+    sim.schedule_at(0, print)

@@ -1,0 +1,21 @@
+"""Known-bad corpus for AGL012: acquire without release on some path."""
+
+
+def leak_on_early_return(lock, chain, cond):
+    yield from lock.acquire(chain)
+    if cond:
+        return None
+    lock.release(chain)
+    return None
+
+
+def leak_on_one_branch(lock, chain, flag):
+    yield from lock.acquire(chain)
+    if flag:
+        lock.release(chain)
+
+
+def try_acquire_leak(lock, chain):
+    if lock.try_acquire(chain):
+        return True
+    return False

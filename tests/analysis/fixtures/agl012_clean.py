@@ -1,0 +1,33 @@
+"""Known-clean corpus for AGL012: balanced acquire/release patterns."""
+
+
+def release_on_both_branches(lock, chain, cond):
+    yield from lock.acquire(chain)
+    if cond:
+        lock.release(chain)
+        return None
+    lock.release(chain)
+    return None
+
+
+def spin_then_release(lock, chain):
+    while not lock.try_acquire(chain):
+        yield None
+    lock.release(chain)
+
+
+def try_acquire_branch_sensitive(lock, chain):
+    if lock.try_acquire(chain):
+        lock.release(chain)
+        return True
+    return False
+
+
+def hand_off_to_caller(cache, tc, chain, lba):
+    line = yield from cache.acquire(tc, chain, lba)
+    return line
+
+
+def release_via_token(cache, tc, chain, lba):
+    line = yield from cache.acquire(tc, chain, lba)
+    cache.unpin(line)
