@@ -40,6 +40,12 @@ know about; this one enforces the repository's:
   ``serve/request.py``): ad-hoc terminal mutations would bypass the
   legal-transition check and the exactly-one-terminal accounting the SLO
   reports and property tests rely on.
+- **AGL013** — no hand-rolled device-index arithmetic (``x % num_ssds``,
+  ``x % len(cfg.ssds)``, ...) outside ``repro/placement/``: physical
+  ``(ssd_idx, device_lba)`` coordinates come from a
+  :class:`~repro.placement.PlacementPolicy` (or its documented compat
+  shims ``interleaved``/``round_robin``), so an array-layout change is a
+  policy swap, not a grep across every workload.
 
 Exit status is 0 when clean, 1 when any violation is found.
 """
@@ -105,6 +111,10 @@ SERVE_TERMINAL_NAMES = {"COMPLETED", "SHED", "ABORTED"}
 
 #: Attribute names AGL008 guards against ad-hoc terminal assignment.
 STATE_ATTR_NAMES = {"state", "_state", "status", "_status"}
+
+#: Names that hold an SSD-array size (AGL013): ``x % <one of these>``
+#: fabricates a device index by hand, bypassing the placement layer.
+SSD_COUNT_NAMES = {"num_ssds", "n_ssds", "nssds", "ssd_count", "num_devices"}
 
 
 @dataclass(frozen=True)
@@ -197,6 +207,8 @@ class _FileLinter:
         #: The serve state machine is the single legal mutation point for
         #: request terminal states.
         self.serve_state_ok = path.name == "request.py" and "serve" in parts
+        #: The placement package owns logical->physical mapping arithmetic.
+        self.placement_ok = "placement" in parts
 
     def add(self, node: ast.AST, code: str, message: str) -> None:
         self.violations.append(
@@ -221,6 +233,8 @@ class _FileLinter:
             elif isinstance(node, (ast.Assign, ast.AugAssign)):
                 self._check_stats_mutation(node)
                 self._check_terminal_state_mutation(node)
+            elif isinstance(node, ast.BinOp):
+                self._check_device_index_arith(node)
             if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 if _is_generator(node):
                     self._check_generator(node)
@@ -354,6 +368,32 @@ class _FileLinter:
                     f"...{value.attr}; request terminal states may only be "
                     f"set via Request.transition (serve/request.py)",
                 )
+
+    def _check_device_index_arith(self, node: ast.BinOp) -> None:
+        """AGL013: physical device indices come from a PlacementPolicy,
+        never from modulo arithmetic on the array size."""
+        if self.placement_ok or not isinstance(node.op, ast.Mod):
+            return
+        divisor = node.right
+        name = self._bare_name(divisor)
+        offender: Optional[str] = None
+        if name in SSD_COUNT_NAMES:
+            offender = name
+        elif (
+            isinstance(divisor, ast.Call)
+            and _dotted(divisor.func) == "len"
+            and len(divisor.args) == 1
+        ):
+            arg = _dotted(divisor.args[0])
+            if arg is not None and arg.split(".")[-1] == "ssds":
+                offender = f"len({arg})"
+        if offender is not None:
+            self.add(
+                node, "AGL013",
+                f"hand-rolled device index (modulo by {offender}) outside "
+                f"repro/placement/; resolve coordinates through a "
+                f"PlacementPolicy (or the interleaved/round_robin shims)",
+            )
 
     @staticmethod
     def _bare_name(node: ast.AST) -> Optional[str]:

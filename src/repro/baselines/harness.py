@@ -15,6 +15,12 @@ from repro.gpu.device import Gpu, KernelLaunch
 from repro.gpu.kernel import KernelSpec, LaunchConfig
 from repro.nvme.driver import NvmeDriver
 from repro.nvme.flash import load_array, read_array
+from repro.placement import (
+    ArrayGeometry,
+    PlacementPolicy,
+    StripedPlacement,
+    placement_for_config,
+)
 from repro.sim.engine import Simulator
 from repro.sim.trace import TraceRecorder
 from repro import telemetry as telemetry_mod
@@ -59,6 +65,10 @@ class BamHost:
             )
             for ssd in self.ssds
         ]
+        #: Same placement contract as :class:`AgileHost` (no live load or
+        #: health feeds: BaM has no recovery daemon, and symmetric mapping
+        #: keeps the two systems' data layouts comparable).
+        self.placement: PlacementPolicy = placement_for_config(self.cfg)
         self.ctrl = BamCtrl(
             self.sim,
             self.cfg,
@@ -118,16 +128,67 @@ class BamHost:
         return load_array(self.ssds[ssd_idx].flash, start_lba, data)
 
     def load_data_striped(self, start_lba: int, data: np.ndarray) -> int:
+        """Compatibility shim: fixed page-interleaved striping (see
+        :meth:`AgileHost.load_data_striped`)."""
+        n = len(self.ssds)
+        striped = StripedPlacement().attach(
+            ArrayGeometry(n, 0, self.cfg.ssds[0].page_size)
+        )
+        return self._write_pages(striped, start_lba * n, data)
+
+    def _write_pages(
+        self,
+        policy: PlacementPolicy,
+        logical_start: int,
+        data: np.ndarray,
+        tenant: Optional[str] = None,
+    ) -> int:
         raw = np.ascontiguousarray(data).view(np.uint8).reshape(-1)
         page = self.cfg.ssds[0].page_size
-        n = len(self.ssds)
         n_pages = (raw.size + page - 1) // page
         for p in range(n_pages):
             chunk = raw[p * page : (p + 1) * page]
             buf = np.zeros(page, dtype=np.uint8)
             buf[: chunk.size] = chunk
-            self.ssds[p % n].flash.write_page_data(start_lba + p // n, buf)
+            ssd_idx, device_lba = policy.place(
+                logical_start + p, tenant=tenant
+            )
+            self.ssds[ssd_idx].flash.write_page_data(device_lba, buf)
         return n_pages
+
+    def load_logical(
+        self,
+        start_lba: int,
+        data: np.ndarray,
+        tenant: Optional[str] = None,
+    ) -> int:
+        """Place a dataset at a logical LBA range through the configured
+        placement policy (mirrors :meth:`AgileHost.load_logical`)."""
+        return self._write_pages(self.placement, start_lba, data, tenant)
+
+    def read_logical(
+        self,
+        start_lba: int,
+        nbytes: int,
+        dtype: np.dtype | str = np.uint8,
+        tenant: Optional[str] = None,
+    ) -> np.ndarray:
+        page = self.cfg.ssds[0].page_size
+        n_pages = (nbytes + page - 1) // page
+        out = np.empty(n_pages * page, dtype=np.uint8)
+        for p in range(n_pages):
+            ssd_idx, device_lba = self.placement.place(
+                start_lba + p, tenant=tenant
+            )
+            out[p * page : (p + 1) * page] = self.ssds[
+                ssd_idx
+            ].flash.read_page_data(device_lba)
+        return out[:nbytes].view(np.dtype(dtype))
+
+    def resolve(
+        self, lba: int, tenant: Optional[str] = None
+    ) -> tuple[int, int]:
+        return self.placement.place(lba, tenant=tenant)
 
     def read_flash(
         self,

@@ -98,14 +98,32 @@ def _serve_saturation_section(quick: bool) -> dict:
     }
 
 
+def _placement_section(quick: bool) -> dict:
+    """Placement-policy comparison in the BENCH.json trend shape: every
+    policy head-to-head on a 4-SSD hotspot trace, with per-device read
+    counts and the max/mean utilization skew ratio per policy."""
+    from repro.serve.__main__ import SMOKE_RATE_RPS, SMOKE_SKEW
+    from repro.serve.sweep import PLACEMENTS, SweepSpec, placement_comparison
+
+    spec = SweepSpec(
+        loads_rps=(SMOKE_RATE_RPS,),
+        duration_ns=1_000_000.0 if quick else 3_000_000.0,
+        num_ssds=4,
+        skew=SMOKE_SKEW,
+    )
+    return placement_comparison(spec, SMOKE_RATE_RPS, placements=PLACEMENTS)
+
+
 def export(argv: list[str]) -> int:
     """Machine-readable bench snapshot for the CI trend artifact.
 
     Writes one JSON document holding a Fig. 5-style read-bandwidth table,
     the scheduler-throughput (events/sec) measurement, per-point device
     error counts (zero on every fault-free run — a nonzero value here is a
-    regression even when bandwidth looks fine), and the serving-layer
-    saturation curves (goodput + p99 vs offered load per system).
+    regression even when bandwidth looks fine), the serving-layer
+    saturation curves (goodput + p99 vs offered load per system), and the
+    placement-policy comparison (per-device utilization + skew ratio per
+    policy on a hotspot trace).
     """
     from repro.workloads.io_sweep import run_bandwidth_sweep
 
@@ -166,6 +184,7 @@ def export(argv: list[str]) -> int:
             "device_errors": point.device_errors,
         },
         "serve_saturation": _serve_saturation_section(quick),
+        "placement": _placement_section(quick),
     }
     with open(out, "w") as fh:
         json.dump(doc, fh, indent=2, sort_keys=True)

@@ -285,6 +285,37 @@ class RecoveryConfig:
     breaker_threshold: int = 12
 
 
+#: Placement policies `repro.placement.make_placement` knows how to build
+#: (kept here so config validation has no import cycle with the package).
+PLACEMENT_POLICIES = (
+    "identity",
+    "shard",
+    "striped",
+    "load_aware",
+    "tenant_affine",
+)
+
+
+@dataclass(frozen=True)
+class PlacementConfig:
+    """Logical-to-physical placement over the SSD array.
+
+    ``striped`` with a one-page stripe is the paper's page-interleaved
+    layout; on a single-SSD array it is bit-identical to ``identity``
+    (logical LBA == device LBA), so the default preserves the goldens.
+    """
+
+    #: One of :data:`PLACEMENT_POLICIES`.
+    policy: str = "striped"
+    #: Stripe chunk in pages (``striped`` only).
+    stripe_pages: int = 1
+    #: Logical span carved into contiguous shards (``shard`` only);
+    #: 0 means "the whole array".
+    shard_span: int = 0
+    #: Cap on mappings migrated per ``rebalance`` call (sticky policies).
+    rebalance_max_moves: int = 64
+
+
 @dataclass(frozen=True)
 class SystemConfig:
     """Top-level bundle describing one simulated machine."""
@@ -298,19 +329,48 @@ class SystemConfig:
     api: ApiCostConfig = field(default_factory=ApiCostConfig)
     faults: FaultConfig = field(default_factory=FaultConfig)
     recovery: RecoveryConfig = field(default_factory=RecoveryConfig)
+    placement: PlacementConfig = field(default_factory=PlacementConfig)
     #: I/O queue pairs per SSD.
     queue_pairs: int = 8
     #: Entries per submission queue.
     queue_depth: int = 64
     seed: int = 0xA617E
 
-    def with_ssds(self, count: int) -> "SystemConfig":
-        """Return a copy with ``count`` identical SSDs."""
+    def with_ssds(
+        self,
+        count: int,
+        *,
+        policy: str | None = None,
+        stripe_pages: int | None = None,
+    ) -> "SystemConfig":
+        """Return a validated copy with ``count`` identical SSDs.
+
+        Growing the array re-validates per-device queue limits and grows
+        the stripe parameters: ``policy``/``stripe_pages`` override the
+        placement config, and an ``identity`` placement that no longer
+        fits a multi-device array is promoted to ``striped``.
+        """
         base = self.ssds[0]
-        return replace(
+        place = self.placement
+        if policy is not None or stripe_pages is not None:
+            place = replace(
+                place,
+                policy=policy if policy is not None else place.policy,
+                stripe_pages=(
+                    stripe_pages
+                    if stripe_pages is not None
+                    else place.stripe_pages
+                ),
+            )
+        if count > 1 and place.policy == "identity":
+            place = replace(place, policy="striped")
+        cfg = replace(
             self,
             ssds=tuple(replace(base, name=f"ssd{i}") for i in range(count)),
+            placement=place,
         )
+        cfg.validate()
+        return cfg
 
     def validate(self) -> None:
         """Raise ``ValueError`` on inconsistent configuration."""
@@ -329,11 +389,22 @@ class SystemConfig:
                 )
             if self.queue_depth < 2:
                 raise ValueError("queue depth must be at least 2")
-        if self.cache.line_size != self.ssds[0].page_size:
+        page_sizes = {ssd.page_size for ssd in self.ssds}
+        if len(page_sizes) > 1:
             raise ValueError(
-                "cache line size must match the SSD page size "
-                "(paper section 2.3.3: lines align with SSD granularity)"
+                "heterogeneous SSD page sizes are not supported: "
+                + ", ".join(
+                    f"{s.name}={s.page_size}" for s in self.ssds
+                )
+                + " (placement assumes one logical page granularity)"
             )
+        for ssd in self.ssds:
+            if self.cache.line_size != ssd.page_size:
+                raise ValueError(
+                    f"cache line size {self.cache.line_size} must match "
+                    f"{ssd.name}'s page size {ssd.page_size} "
+                    "(paper section 2.3.3: lines align with SSD granularity)"
+                )
         if self.cache.num_lines < 1:
             raise ValueError("cache must have at least one line")
         for name in (
@@ -356,6 +427,32 @@ class SystemConfig:
             raise ValueError("recovery.max_retries must be non-negative")
         if self.recovery.breaker_threshold < 1:
             raise ValueError("recovery.breaker_threshold must be >= 1")
+        if self.placement.policy not in PLACEMENT_POLICIES:
+            raise ValueError(
+                f"unknown placement policy {self.placement.policy!r}; "
+                f"expected one of {', '.join(PLACEMENT_POLICIES)}"
+            )
+        if self.placement.policy == "identity" and len(self.ssds) > 1:
+            raise ValueError(
+                "identity placement requires exactly one SSD; pick "
+                "striped/shard/load_aware/tenant_affine for arrays"
+            )
+        if self.placement.stripe_pages < 1:
+            raise ValueError("placement.stripe_pages must be >= 1")
+        if (
+            self.placement.policy == "striped"
+            and min(s.num_pages for s in self.ssds)
+            % self.placement.stripe_pages
+        ):
+            raise ValueError(
+                f"placement.stripe_pages={self.placement.stripe_pages} must "
+                f"divide the device capacity of "
+                f"{min(s.num_pages for s in self.ssds)} pages"
+            )
+        if self.placement.shard_span < 0:
+            raise ValueError("placement.shard_span must be >= 0")
+        if self.placement.rebalance_max_moves < 0:
+            raise ValueError("placement.rebalance_max_moves must be >= 0")
 
 
 def default_config(**overrides: object) -> SystemConfig:
@@ -379,4 +476,6 @@ def describe(cfg: SystemConfig) -> Mapping[str, str]:
         "queues": f"{cfg.queue_pairs} QPs x depth {cfg.queue_depth} per SSD",
         "cache": f"{cfg.cache.num_lines} x {cfg.cache.line_size} B "
         f"({cfg.cache.policy})",
+        "placement": f"{cfg.placement.policy} over {len(cfg.ssds)} SSD(s), "
+        f"stripe {cfg.placement.stripe_pages} page(s)",
     }

@@ -30,6 +30,7 @@ from repro.core.issue import IssueEngine
 from repro.core.locks import AgileLockChain
 from repro.core.sharetable import ShareTable
 from repro.gpu.thread import ThreadContext
+from repro.placement import PlacementPolicy
 from repro.gpu.warp import NOT_PARTICIPATING
 from repro.nvme.command import Opcode
 from repro.sim.engine import SimError, Simulator
@@ -56,6 +57,7 @@ class AgileCtrl:
         issue: IssueEngine,
         share_table: Optional[ShareTable],
         stats: Optional[Counter] = None,
+        placement: Optional["PlacementPolicy"] = None,
     ):
         self.sim = sim
         self.cfg = cfg
@@ -64,6 +66,9 @@ class AgileCtrl:
         self.share_table = share_table
         self.api: ApiCostConfig = cfg.api
         self.stats = stats if stats is not None else Counter()
+        #: The host's placement policy; None on controllers built without
+        #: one (the logical access methods then raise).
+        self.placement = placement
         self._buf_seq = 0
 
     @property
@@ -164,6 +169,52 @@ class AgileCtrl:
             tc, chain, ssd_idx, lba, pin=True, wait=True
         )
         return line
+
+    # ------------------------------------------------------------------
+    # Logical addressing (routed through the placement policy)
+    # ------------------------------------------------------------------
+
+    def resolve(
+        self, lba: int, tenant: Optional[str] = None
+    ) -> tuple[int, int]:
+        """Resolve a logical LBA to its physical ``(ssd_idx, device_lba)``
+        via the attached placement policy."""
+        if self.placement is None:
+            raise SimError(
+                "no placement policy attached; build the host from a "
+                "SystemConfig (or pass placement=) to use logical LBAs"
+            )
+        return self.placement.place(lba, tenant=tenant)
+
+    def read_page_logical(
+        self,
+        tc: ThreadContext,
+        chain: AgileLockChain,
+        lba: int,
+        tenant: Optional[str] = None,
+    ) -> Generator[Any, Any, CacheLine]:
+        """Blocking logical page access: placement-resolved, cache-tagged by
+        the logical LBA; caller must ``cache.unpin`` the returned line."""
+        self.stats.add("logical_reads")
+        route = self.resolve(lba, tenant)
+        line = yield from self.cache.acquire_logical(
+            tc, chain, lba, route, pin=True, wait=True
+        )
+        return line
+
+    def prefetch_logical(
+        self,
+        tc: ThreadContext,
+        chain: AgileLockChain,
+        lba: int,
+        tenant: Optional[str] = None,
+    ) -> Generator[Any, Any, None]:
+        """Asynchronous logical prefetch into the software cache."""
+        self.stats.add("logical_prefetches")
+        route = self.resolve(lba, tenant)
+        yield from self.cache.acquire_logical(
+            tc, chain, lba, route, pin=False, wait=False
+        )
 
     # ------------------------------------------------------------------
     # Method 2: async_issue to user-specified buffers
@@ -332,5 +383,22 @@ class AgileCtrl:
         """Bare asynchronous NVMe write, bypassing cache and Share Table."""
         txn = yield from self.issue.submit(
             tc, chain, ssd_idx, Opcode.WRITE, lba, src, label="raw"
+        )
+        return txn
+
+    def raw_read_logical(
+        self,
+        tc: ThreadContext,
+        chain: AgileLockChain,
+        lba: int,
+        dest: np.ndarray,
+        tenant: Optional[str] = None,
+    ) -> Generator[Any, Any, Transaction]:
+        """Bare logical NVMe read: placement-resolved, cache-bypassing; the
+        pending record carries the logical LBA for diagnostics."""
+        ssd_idx, device_lba = self.resolve(lba, tenant)
+        txn = yield from self.issue.submit(
+            tc, chain, ssd_idx, Opcode.READ, device_lba, dest,
+            label="raw", logical=int(lba),
         )
         return txn

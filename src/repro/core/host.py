@@ -35,6 +35,13 @@ from repro.analysis import hooks as analysis_hooks
 from repro.faults import FaultInjector
 from repro.nvme.driver import NvmeDriver
 from repro.nvme.flash import load_array, read_array
+from repro.placement import (
+    ArrayGeometry,
+    Move,
+    PlacementPolicy,
+    StripedPlacement,
+    placement_for_config,
+)
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngStreams
 from repro.sim.trace import TraceRecorder
@@ -146,6 +153,15 @@ class AgileHost:
             self.cfg.service,
             stats=self.trace.group("service"),
         )
+        #: The array's placement policy (logical LBA -> (ssd, device LBA)),
+        #: fed by live in-flight counts and circuit-breaker health.  Built
+        #: host-side with no simulated events, so fault-free goldens stay
+        #: bit-identical.
+        self.placement: PlacementPolicy = placement_for_config(
+            self.cfg,
+            load=self._device_loads,
+            healthy=self._device_healthy,
+        )
         self.ctrl = AgileCtrl(
             self.sim,
             self.cfg,
@@ -153,6 +169,7 @@ class AgileHost:
             self.issue,
             self.share_table,
             stats=self.trace.group("ctrl"),
+            placement=self.placement,
         )
         #: Populated by ``repro.analysis.attach`` (directly, or via the
         #: ``--agile-checks`` pytest flag / ``analysis_hooks.enable()``).
@@ -290,17 +307,112 @@ class AgileHost:
         """Stripe a dataset page-interleaved across all SSDs (the paper's
         multi-SSD layout: request i goes to SSD ``i mod n``).  Page ``p`` of
         the logical array lands at LBA ``start_lba + p // n`` of SSD
-        ``p mod n``.  Returns the number of logical pages."""
+        ``p mod n``.  Returns the number of logical pages.
+
+        Compatibility shim: the layout is fixed page-interleaved striping
+        regardless of the configured policy, expressed through an ad-hoc
+        :class:`~repro.placement.StripedPlacement` (logical page ``p`` of
+        the region is logical LBA ``start_lba * n + p``).
+        """
+        n = len(self.ssds)
+        striped = StripedPlacement().attach(
+            ArrayGeometry(n, 0, self.cfg.ssds[0].page_size)
+        )
+        return self._write_pages(striped, start_lba * n, data)
+
+    def _write_pages(
+        self,
+        policy: PlacementPolicy,
+        logical_start: int,
+        data: np.ndarray,
+        tenant: Optional[str] = None,
+    ) -> int:
+        """Pad ``data`` to whole pages and write each through ``policy``."""
         raw = np.ascontiguousarray(data).view(np.uint8).reshape(-1)
         page = self.cfg.ssds[0].page_size
-        n = len(self.ssds)
         n_pages = (raw.size + page - 1) // page
         for p in range(n_pages):
             chunk = raw[p * page : (p + 1) * page]
             buf = np.zeros(page, dtype=np.uint8)
             buf[: chunk.size] = chunk
-            self.ssds[p % n].flash.write_page_data(start_lba + p // n, buf)
+            ssd_idx, device_lba = policy.place(
+                logical_start + p, tenant=tenant
+            )
+            self.ssds[ssd_idx].flash.write_page_data(device_lba, buf)
         return n_pages
+
+    def load_logical(
+        self,
+        start_lba: int,
+        data: np.ndarray,
+        tenant: Optional[str] = None,
+    ) -> int:
+        """Place a dataset at a *logical* LBA range, routed through the
+        host's placement policy.  Returns pages written."""
+        return self._write_pages(self.placement, start_lba, data, tenant)
+
+    def read_logical(
+        self,
+        start_lba: int,
+        nbytes: int,
+        dtype: np.dtype | str = np.uint8,
+        tenant: Optional[str] = None,
+    ) -> np.ndarray:
+        """Read a logically-addressed dataset back (verification helper,
+        the placement-aware sibling of :meth:`read_flash`)."""
+        page = self.cfg.ssds[0].page_size
+        n_pages = (nbytes + page - 1) // page
+        out = np.empty(n_pages * page, dtype=np.uint8)
+        for p in range(n_pages):
+            ssd_idx, device_lba = self.placement.place(
+                start_lba + p, tenant=tenant
+            )
+            out[p * page : (p + 1) * page] = self.ssds[
+                ssd_idx
+            ].flash.read_page_data(device_lba)
+        return out[:nbytes].view(np.dtype(dtype))
+
+    def resolve(
+        self, lba: int, tenant: Optional[str] = None
+    ) -> tuple[int, int]:
+        """Placement resolution for one logical LBA."""
+        return self.placement.place(lba, tenant=tenant)
+
+    def rebalance_placement(
+        self, device_loads: Optional[Sequence[float]] = None
+    ) -> list[Move]:
+        """Ask the placement policy to migrate mappings toward balance and
+        copy the affected flash pages; returns the moves performed.
+        Host-side (no simulated time) — the modelled cost is the policy's
+        business to keep small via ``rebalance_max_moves``."""
+        loads = (
+            list(device_loads)
+            if device_loads is not None
+            else self._device_loads()
+        )
+        moves = self.placement.rebalance(loads)
+        for mv in moves:
+            (src_ssd, src_lba), (dst_ssd, dst_lba) = mv.src, mv.dst
+            self.ssds[dst_ssd].flash.write_page_data(
+                dst_lba, self.ssds[src_ssd].flash.read_page_data(src_lba)
+            )
+        return moves
+
+    # -- placement feeds (pull-based; no simulated time) ---------------------
+
+    def _device_loads(self) -> list[float]:
+        """In-flight commands per device — the load-aware policy's signal."""
+        loads = [0.0] * len(self.ssds)
+        for ssd_idx, _qid, _cid in self.issue.pending:
+            loads[ssd_idx] += 1.0
+        return loads
+
+    def _device_healthy(self) -> list[bool]:
+        """Circuit-breaker health per device (all-healthy without
+        recovery)."""
+        if self.recovery is None:
+            return [True] * len(self.ssds)
+        return [not br.open for br in self.recovery.breakers]
 
     def read_flash(
         self,

@@ -30,6 +30,7 @@ from repro.gpu.device import Gpu, KernelLaunch
 from repro.gpu.kernel import KernelSpec, LaunchConfig
 from repro.nvme.driver import NvmeDriver
 from repro.nvme.flash import load_array
+from repro.placement import PlacementPolicy, placement_for_config
 from repro.sim.engine import Simulator
 from repro.sim.trace import TraceRecorder
 
@@ -91,6 +92,10 @@ class MultiGpuAgileHost:
             self.driver.add_device(scfg, gpu_pipe=gpus[0].pcie_pipe)
             for scfg in self.cfg.ssds
         ]
+        #: One placement policy for the whole array — the SSDs (and hence
+        #: the logical address space) are shared across GPUs, so every
+        #: node's controller must resolve identically.
+        self.placement: PlacementPolicy = placement_for_config(self.cfg)
         self.nodes: List[GpuNode] = []
         for g, gpu in enumerate(gpus):
             queue_pairs = [
@@ -135,6 +140,7 @@ class MultiGpuAgileHost:
                 issue,
                 share_table=None,  # per-GPU share tables are future work
                 stats=self.trace.group(f"gpu{g}.ctrl"),
+                placement=self.placement,
             )
             self.nodes.append(
                 GpuNode(index=g, gpu=gpu, issue=issue, cache=cache,
@@ -149,6 +155,32 @@ class MultiGpuAgileHost:
 
     def load_data(self, ssd_idx: int, start_lba: int, data: np.ndarray) -> int:
         return load_array(self.ssds[ssd_idx].flash, start_lba, data)
+
+    def load_logical(
+        self,
+        start_lba: int,
+        data: np.ndarray,
+        tenant: Optional[str] = None,
+    ) -> int:
+        """Place a dataset at a logical LBA range through the shared
+        placement policy (mirrors :meth:`AgileHost.load_logical`)."""
+        raw = np.ascontiguousarray(data).view(np.uint8).reshape(-1)
+        page = self.cfg.ssds[0].page_size
+        n_pages = (raw.size + page - 1) // page
+        for p in range(n_pages):
+            chunk = raw[p * page : (p + 1) * page]
+            buf = np.zeros(page, dtype=np.uint8)
+            buf[: chunk.size] = chunk
+            ssd_idx, device_lba = self.placement.place(
+                start_lba + p, tenant=tenant
+            )
+            self.ssds[ssd_idx].flash.write_page_data(device_lba, buf)
+        return n_pages
+
+    def resolve(
+        self, lba: int, tenant: Optional[str] = None
+    ) -> tuple[int, int]:
+        return self.placement.place(lba, tenant=tenant)
 
     # -- lifecycle ------------------------------------------------------------
 

@@ -80,9 +80,12 @@ class NvmeDriver:
 
     def device_stats(self) -> list[dict[str, object]]:
         """Per-device health counters (errors were previously counted but
-        never surfaced; bench reports and chaos diagnostics read this)."""
+        never surfaced; bench reports and chaos diagnostics read this).
+        Each entry carries the device ``index`` alongside ``name`` so
+        placement-skew reports can join on it after array reconfiguration
+        (positional order alone is ambiguous once arrays are regrown)."""
         return [
-            {"name": ctrl.cfg.name, **ctrl.stats()}
+            {"index": ctrl.index, "name": ctrl.cfg.name, **ctrl.stats()}
             for ctrl in self.controllers
         ]
 

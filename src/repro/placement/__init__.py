@@ -1,0 +1,45 @@
+"""Logical-to-physical placement over the SSD array.
+
+Every layer above the NVMe driver addresses flash through a *logical*
+block address space; a :class:`PlacementPolicy` owns the mapping onto
+physical ``(ssd_idx, device_lba)`` coordinates.  Direct construction of
+physical pairs outside this package (and the documented compatibility
+shims) is banned by lint rule AGL013 — the point of the layer is that an
+array-layout question ("striped or sharded? load-aware or
+tenant-affine?") is answered by swapping a policy, not by editing every
+workload.
+
+Policies are deterministic: the same sequence of ``place`` calls on a
+fresh policy yields the same mapping, regardless of wall clock or hash
+seeds (tenant keys hash via CRC-32, never the salted builtin ``hash``).
+"""
+
+from repro.placement.policy import (
+    ArrayGeometry,
+    IdentityPlacement,
+    LoadAwarePlacement,
+    Move,
+    PlacementPolicy,
+    StaticShardPlacement,
+    StripedPlacement,
+    TenantAffinePlacement,
+    interleaved,
+    make_placement,
+    placement_for_config,
+    round_robin,
+)
+
+__all__ = [
+    "ArrayGeometry",
+    "IdentityPlacement",
+    "LoadAwarePlacement",
+    "Move",
+    "PlacementPolicy",
+    "StaticShardPlacement",
+    "StripedPlacement",
+    "TenantAffinePlacement",
+    "interleaved",
+    "make_placement",
+    "placement_for_config",
+    "round_robin",
+]

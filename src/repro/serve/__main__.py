@@ -1,15 +1,23 @@
-"""CLI: ``python -m repro.serve sweep`` — saturation curves.
+"""CLI: ``python -m repro.serve`` — saturation curves and placement smoke.
 
-Sweeps offered load across AGILE / BaM / naive-async on an identical
-seed-deterministic arrival timeline and prints goodput + tail latency per
-point, optionally writing the full curve set as JSON
-(schema ``agile-serve-sweep/1``).
+``sweep`` drives offered load across AGILE / BaM / naive-async on an
+identical seed-deterministic arrival timeline and prints goodput + tail
+latency per point, optionally writing the full curve set as JSON (schema
+``agile-serve-sweep/2``).  ``--ssds`` and ``--placement`` accept comma
+lists and expand into a grid: one saturation curve per (array size,
+placement policy) cell.
+
+``placement-smoke`` runs the head-to-head policy comparison on a skewed
+trace and exits non-zero unless striping spreads the hotspot better than
+static sharding — the CI guard for the placement layer.
 
 Examples::
 
     python -m repro.serve sweep --seed 7
     python -m repro.serve sweep --quick --systems agile,bam
-    python -m repro.serve sweep --loads 20000,40000,80000 --out serve.json
+    python -m repro.serve sweep --ssds 1,2,4 --placement shard,striped
+    python -m repro.serve sweep --ssds 4 --placement striped --skew 0.6
+    python -m repro.serve placement-smoke --out placement_smoke.json
 """
 
 from __future__ import annotations
@@ -20,17 +28,25 @@ import sys
 from typing import List, Optional
 
 from repro.serve.sweep import (
+    PLACEMENTS,
     SYSTEMS,
     SweepSpec,
-    curves_as_dict,
+    grid_as_dict,
+    grid_label,
     knee_rps,
-    run_saturation_sweep,
+    placement_comparison,
+    run_placement_grid,
 )
 
 #: Default offered loads (requests/s) — chosen to straddle every system's
 #: knee at the default 2-SSD machine and 10 ms window.
 DEFAULT_LOADS = (10_000.0, 20_000.0, 40_000.0, 80_000.0, 160_000.0, 320_000.0)
 QUICK_LOADS = (20_000.0, 80_000.0)
+
+#: Offered load the placement smoke compares policies at — past the
+#: sharded machine's knee under the hotspot, inside the striped one's.
+SMOKE_RATE_RPS = 80_000.0
+SMOKE_SKEW = 0.8
 
 
 def _parse_args(argv: Optional[List[str]]) -> argparse.Namespace:
@@ -58,13 +74,49 @@ def _parse_args(argv: Optional[List[str]]) -> argparse.Namespace:
         default=10.0,
         help="offered-traffic window per point (simulated ms)",
     )
-    sweep.add_argument("--num-ssds", type=int, default=2)
+    sweep.add_argument(
+        "--ssds",
+        default="2",
+        help="comma-separated SSD array sizes (a sweep axis)",
+    )
+    sweep.add_argument(
+        "--num-ssds",
+        type=int,
+        default=0,
+        help=argparse.SUPPRESS,  # legacy alias for a single-value --ssds
+    )
+    sweep.add_argument(
+        "--placement",
+        default="striped",
+        help="comma-separated placement policies (a sweep axis); "
+        "one of: " + ", ".join(PLACEMENTS),
+    )
+    sweep.add_argument(
+        "--stripe-pages", type=int, default=1,
+        help="stripe chunk size in pages (striped placement)",
+    )
+    sweep.add_argument(
+        "--skew", type=float, default=0.0,
+        help="fraction of page draws redirected to the hot head of each "
+        "class region (0 = uniform)",
+    )
     sweep.add_argument("--num-gpus", type=int, default=1)
     sweep.add_argument(
         "--quick", action="store_true",
         help="two loads instead of the full ladder (CI smoke)",
     )
     sweep.add_argument("--out", default="", help="write curves JSON here")
+
+    smoke = sub.add_parser(
+        "placement-smoke",
+        help="striped-vs-shard skew guard on a hotspot trace (CI)",
+    )
+    smoke.add_argument("--seed", type=int, default=7)
+    smoke.add_argument("--ssds", type=int, default=4)
+    smoke.add_argument("--rate", type=float, default=SMOKE_RATE_RPS)
+    smoke.add_argument("--skew", type=float, default=SMOKE_SKEW)
+    smoke.add_argument("--duration-ms", type=float, default=5.0)
+    smoke.add_argument("--out", default="", help="write comparison JSON here")
     return parser.parse_args(argv)
 
 
@@ -76,17 +128,29 @@ def _format_point(pt) -> str:
         f"p99 {rep.p99_ns / 1e6:7.3f} ms | "
         f"completed {rep.completed:>5d} shed {rep.shed:>4d} "
         f"aborted {rep.aborted:>4d} | "
-        f"mean batch {rep.mean_batch_size:5.1f}"
+        f"mean batch {rep.mean_batch_size:5.1f} | "
+        f"skew {rep.skew_ratio:4.2f}"
     )
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    args = _parse_args(argv)
+def _cmd_sweep(args) -> int:
     systems = tuple(s for s in args.systems.split(",") if s)
     for system in systems:
         if system not in SYSTEMS:
             print(f"unknown system {system!r}; want one of {SYSTEMS}",
                   file=sys.stderr)
+            return 2
+    if args.num_ssds:
+        ssd_counts = (args.num_ssds,)
+    else:
+        ssd_counts = tuple(int(tok) for tok in args.ssds.split(",") if tok)
+    placements = tuple(p for p in args.placement.split(",") if p)
+    for placement in placements:
+        if placement not in PLACEMENTS and placement != "identity":
+            print(
+                f"unknown placement {placement!r}; want one of {PLACEMENTS}",
+                file=sys.stderr,
+            )
             return 2
     if args.loads:
         loads = tuple(float(tok) for tok in args.loads.split(",") if tok)
@@ -96,39 +160,100 @@ def main(argv: Optional[List[str]] = None) -> int:
         loads_rps=loads,
         duration_ns=args.duration_ms * 1e6,
         seed=args.seed,
-        num_ssds=args.num_ssds,
+        stripe_pages=args.stripe_pages,
+        skew=args.skew,
     )
     print(
         f"serve saturation sweep: seed={spec.seed} "
-        f"window={args.duration_ms:g} ms ssds={spec.num_ssds} "
+        f"window={args.duration_ms:g} ms "
+        f"ssds={','.join(str(n) for n in ssd_counts)} "
+        f"placement={','.join(placements)} skew={args.skew:g} "
         f"gpus={args.num_gpus}"
     )
     print(f"replay: python -m repro.serve sweep --seed {spec.seed} "
           f"--systems {','.join(systems)} "
           f"--loads {','.join(f'{ld:g}' for ld in loads)} "
-          f"--duration-ms {args.duration_ms:g}")
-    curves = run_saturation_sweep(spec, systems=systems,
-                                  num_gpus=args.num_gpus)
-    for system in systems:
-        points = curves[system]
-        print(f"  {system}: knee ~{knee_rps(points):,.0f} rps")
-        for pt in points:
-            print(_format_point(pt))
+          f"--duration-ms {args.duration_ms:g} "
+          f"--ssds {','.join(str(n) for n in ssd_counts)} "
+          f"--placement {','.join(placements)} "
+          f"--skew {args.skew:g}")
+    grid = run_placement_grid(
+        spec, ssd_counts, placements, systems=systems, num_gpus=args.num_gpus
+    )
+    for count in ssd_counts:
+        for placement in placements:
+            label = grid_label(count, placement)
+            curves = grid[label]
+            print(f"  [{label}]")
+            for system in systems:
+                points = curves[system]
+                print(f"  {system}: knee ~{knee_rps(points):,.0f} rps")
+                for pt in points:
+                    print(_format_point(pt))
     if args.out:
         doc = {
-            "schema": "agile-serve-sweep/1",
+            "schema": "agile-serve-sweep/2",
             "seed": spec.seed,
             "duration_ns": spec.duration_ns,
-            "num_ssds": spec.num_ssds,
+            "ssd_counts": list(ssd_counts),
+            "placements": list(placements),
+            "skew": args.skew,
             "num_gpus": args.num_gpus,
             "loads_rps": list(loads),
-            "curves": curves_as_dict(curves),
+            "grid": grid_as_dict(grid),
         }
         with open(args.out, "w", encoding="utf-8") as fh:
             json.dump(doc, fh, indent=2, sort_keys=True)
             fh.write("\n")
         print(f"wrote {args.out}")
     return 0
+
+
+def _cmd_placement_smoke(args) -> int:
+    spec = SweepSpec(
+        loads_rps=(args.rate,),
+        duration_ns=args.duration_ms * 1e6,
+        seed=args.seed,
+        num_ssds=args.ssds,
+        skew=args.skew,
+    )
+    doc = placement_comparison(spec, args.rate, placements=("shard", "striped"))
+    doc["schema"] = "agile-placement-smoke/1"
+    shard = doc["policies"]["shard"]
+    striped = doc["policies"]["striped"]
+    for name in ("shard", "striped"):
+        pol = doc["policies"][name]
+        print(
+            f"  {name:>8s}: goodput {pol['goodput_rps']:>9,.0f} rps | "
+            f"p99 {pol['p99_ns'] / 1e6:7.3f} ms | "
+            f"skew {pol['skew_ratio']:4.2f} | "
+            f"device reads {pol['device_reads']}"
+        )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+    if striped["skew_ratio"] >= shard["skew_ratio"]:
+        print(
+            "FAIL: striped placement did not reduce per-device skew "
+            f"(striped {striped['skew_ratio']:.3f} >= "
+            f"shard {shard['skew_ratio']:.3f})",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"OK: striped skew {striped['skew_ratio']:.3f} < "
+        f"shard skew {shard['skew_ratio']:.3f}"
+    )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _parse_args(argv)
+    if args.command == "placement-smoke":
+        return _cmd_placement_smoke(args)
+    return _cmd_sweep(args)
 
 
 if __name__ == "__main__":

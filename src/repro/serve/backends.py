@@ -22,7 +22,7 @@ all three kernels; only the I/O discipline differs, mirroring the paper's
 
 from __future__ import annotations
 
-from typing import Any, Dict, Generator, List, Optional
+from typing import Any, Dict, Generator, List, Optional, Sequence
 
 import numpy as np
 
@@ -59,6 +59,10 @@ class ServeBackend:
 
     # -- interface the engine drives ---------------------------------------
 
+    def _host(self):
+        """The simulated host object driving this backend."""
+        raise NotImplementedError
+
     @property
     def sim(self):
         raise NotImplementedError
@@ -90,14 +94,38 @@ class ServeBackend:
     def drain(self) -> None:
         pass
 
-    def load_pattern(self, num_ssds: int, lba_space: int, page_size: int) -> None:
-        """Stage a recognisable pattern under the serving LBA range."""
-        data = np.arange(lba_space * page_size, dtype=np.uint8)
-        for idx in range(num_ssds):
-            self._load(idx, data)
+    # -- placement ----------------------------------------------------------
 
-    def _load(self, ssd_idx: int, data) -> None:
-        raise NotImplementedError
+    @property
+    def placement(self):
+        """The host's :class:`~repro.placement.PlacementPolicy`."""
+        return self._host().placement
+
+    def place(self, lba: int, tenant: Optional[str] = None) -> tuple:
+        """Resolve one logical LBA to physical ``(ssd_idx, device_lba)``.
+
+        The engine resolves every request's pages through this exactly once
+        at arrival; sticky policies memoise, so a later in-kernel logical
+        read resolves to the same coordinates.
+        """
+        return self.placement.place(lba, tenant=tenant)
+
+    def device_read_counts(self) -> List[int]:
+        """Completed reads per device index (joins on ``index``, not list
+        position, so reports survive array regrowth)."""
+        stats = self._host().driver.device_stats()
+        counts = [0] * len(stats)
+        for entry in stats:
+            counts[int(entry["index"])] = int(entry["completed_reads"])
+        return counts
+
+    def load_pattern(self, classes: Sequence, page_size: int = 4096) -> None:
+        """Stage a recognisable pattern under each class's logical region,
+        placed through the backend's placement policy with the class name
+        as the tenant key (what tenant-affine placement pivots on)."""
+        for cls in classes:
+            data = np.arange(cls.lba_space * page_size, dtype=np.uint8)
+            self._host().load_logical(cls.lba_base, data, tenant=cls.name)
 
     def run_batch(
         self, worker_idx: int, batch: Batch, finish
@@ -145,6 +173,9 @@ class AgileServeBackend(ServeBackend):
             self._multi = MultiGpuAgileHost(cfg, num_gpus=num_gpus)
             self.host = None
 
+    def _host(self):
+        return self.host if self.host is not None else self._multi
+
     @property
     def sim(self):
         return self.host.sim if self.host is not None else self._multi.sim
@@ -175,9 +206,6 @@ class AgileServeBackend(ServeBackend):
         if self.host is not None:
             self.host.drain()
 
-    def _load(self, ssd_idx: int, data) -> None:
-        (self.host or self._multi).load_data(ssd_idx, 0, data)
-
     def run_batch(
         self, worker_idx: int, batch: Batch, finish
     ) -> Generator[Any, Any, None]:
@@ -203,11 +231,22 @@ class AgileServeBackend(ServeBackend):
             ok = True
             try:
                 txns = []
-                for ssd, lba in req.pages:
-                    txn = yield from ctrl.raw_read(
-                        tc, chain, ssd, lba, dest
-                    )
-                    txns.append(txn)
+                if req.logical:
+                    # Logical issue path: the controller re-resolves each
+                    # LBA through the same (memoised) placement policy the
+                    # engine used at arrival, so coordinates agree.
+                    for lba in req.logical:
+                        txn = yield from ctrl.raw_read_logical(
+                            tc, chain, lba, dest, tenant=req.cls.name
+                        )
+                        txns.append(txn)
+                else:
+                    # Trace replay hands us physical coordinates directly.
+                    for ssd, lba in req.pages:
+                        txn = yield from ctrl.raw_read(
+                            tc, chain, ssd, lba, dest
+                        )
+                        txns.append(txn)
                 for txn in txns:
                     completion = yield from txn.wait()
                     if completion is None or not completion.ok:
@@ -243,6 +282,9 @@ class BamServeBackend(ServeBackend):
         super().__init__()
         self.host = BamHost(cfg, telemetry=telemetry)
 
+    def _host(self):
+        return self.host
+
     @property
     def sim(self):
         return self.host.sim
@@ -258,9 +300,6 @@ class BamServeBackend(ServeBackend):
     @property
     def cfg(self) -> SystemConfig:
         return self.host.cfg
-
-    def _load(self, ssd_idx: int, data) -> None:
-        self.host.load_data(ssd_idx, 0, data)
 
     def run_batch(
         self, worker_idx: int, batch: Batch, finish
@@ -310,6 +349,9 @@ class NaiveServeBackend(ServeBackend):
             sum(qp.sq.depth for qp in qps) for qps in self.host.queue_pairs
         )
 
+    def _host(self):
+        return self.host
+
     @property
     def sim(self):
         return self.host.sim
@@ -328,9 +370,6 @@ class NaiveServeBackend(ServeBackend):
         # holds all its page slots at once; staying under the slot count
         # keeps the strawman live instead of deadlocking mid-sweep.
         return max(1, self._slots_per_ssd // 2)
-
-    def _load(self, ssd_idx: int, data) -> None:
-        self.host.load_data(ssd_idx, 0, data)
 
     def run_batch(
         self, worker_idx: int, batch: Batch, finish

@@ -19,7 +19,9 @@ drains, *every* offered request is in exactly one terminal state.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Generator, List, Optional, Sequence
+from typing import Any, Dict, Generator, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.config import NS_PER_S
 from repro.serve.admission import AdmissionQueue
@@ -130,6 +132,10 @@ class ServeEngine:
         #: Every request ever created, in arrival order (the property tests
         #: walk this to assert exactly-one-terminal-state).
         self.requests: List[Request] = []
+        #: Pages targeted per device index (offered, not completed — counts
+        #: shed requests too; the placement report pairs it with the
+        #: driver's completed-read counters).
+        self.device_pages: List[int] = [0] * len(backend.cfg.ssds)
         self._outstanding = 0
         self._rid = 0
         self._ran = False
@@ -142,25 +148,43 @@ class ServeEngine:
 
     # -- request construction ----------------------------------------------
 
-    def _make_request(self, cls: RequestClass, pages) -> Request:
+    def _make_request(
+        self, cls: RequestClass, pages, logical: Tuple[int, ...] = ()
+    ) -> Request:
         self._rid += 1
         req = Request(
             rid=self._rid,
             cls=cls,
             arrival_ns=self.sim.now,
             pages=tuple(pages),
+            logical=tuple(logical),
         )
+        for ssd, _lba in req.pages:
+            self.device_pages[ssd] += 1
         self.requests.append(req)
         self._outstanding += 1
         self.slo.offered(cls)
         return req
 
-    def _sample_pages(self, cls: RequestClass, rng) -> List[tuple]:
-        num_ssds = len(self.backend.cfg.ssds)
+    def _sample_pages(
+        self, cls: RequestClass, rng
+    ) -> Tuple[Tuple[int, ...], List[tuple]]:
+        """Draw one request's logical LBAs (optionally hotspot-skewed) and
+        resolve them through the backend's placement policy.
+
+        The uniform draw always happens, and the skew draw only when
+        ``cls.skew > 0`` — so skew-free classes consume the identical rng
+        stream the pre-placement engine did, keeping serve timelines
+        bit-exact across the refactor.
+        """
         lbas = rng.integers(0, cls.lba_space, size=cls.pages)
-        return [
-            (int(i % num_ssds), int(lba)) for i, lba in enumerate(lbas)
-        ]
+        if cls.skew > 0.0:
+            hot_space = max(1, int(cls.lba_space * cls.hot_fraction))
+            hot = rng.random(size=cls.pages)
+            lbas = np.where(hot < cls.skew, lbas % hot_space, lbas)
+        logical = tuple(cls.lba_base + int(lba) for lba in lbas)
+        pages = [self.backend.place(lba, tenant=cls.name) for lba in logical]
+        return logical, pages
 
     # -- sim processes -------------------------------------------------------
 
@@ -180,10 +204,10 @@ class ServeEngine:
             if self.sim.now >= end:
                 return
             if page_seq is not None:
-                pages = next(page_seq)
+                logical, pages = (), next(page_seq)
             else:
-                pages = self._sample_pages(cls, page_rng)
-            req = self._make_request(cls, pages)
+                logical, pages = self._sample_pages(cls, page_rng)
+            req = self._make_request(cls, pages, logical)
             if self.admission.offer(req):
                 self.slo.admitted(cls)
 
@@ -269,4 +293,8 @@ class ServeEngine:
             sim_events=self.sim.event_count,
             batches=size_hist.count,
             mean_batch_size=size_hist.mean(),
+            placement=self.backend.placement.name,
+            num_ssds=len(self.backend.cfg.ssds),
+            device_pages=tuple(self.device_pages),
+            device_reads=tuple(self.backend.device_read_counts()),
         )

@@ -82,9 +82,17 @@ class RequestClass:
     slo_ns: float = 2_000_000.0
     weight: float = 1.0
     queue_timeout_ns: float = float("inf")
-    #: LBA space the class's reads target (pages sampled uniformly unless
-    #: the arrival process replays an explicit access trace).
+    #: Logical LBA span the class's reads target (pages sampled uniformly
+    #: unless the arrival process replays an explicit access trace).
     lba_space: int = 4096
+    #: First logical LBA of the class's region.  Classes get disjoint
+    #: regions so tenant-affine placement can give each its own devices.
+    lba_base: int = 0
+    #: Fraction of page draws redirected into the hot head of the region
+    #: (``hot_fraction`` of the span).  0.0 keeps the uniform draw — and
+    #: the identical rng stream the pre-skew engine consumed.
+    skew: float = 0.0
+    hot_fraction: float = 0.125
 
     def __post_init__(self) -> None:
         if self.pages < 1:
@@ -93,6 +101,14 @@ class RequestClass:
             raise ValueError(f"class {self.name!r}: weight must be > 0")
         if self.slo_ns <= 0:
             raise ValueError(f"class {self.name!r}: slo_ns must be > 0")
+        if self.lba_base < 0:
+            raise ValueError(f"class {self.name!r}: lba_base must be >= 0")
+        if not 0.0 <= self.skew <= 1.0:
+            raise ValueError(f"class {self.name!r}: skew must be in [0, 1]")
+        if not 0.0 < self.hot_fraction <= 1.0:
+            raise ValueError(
+                f"class {self.name!r}: hot_fraction must be in (0, 1]"
+            )
 
 
 class Request:
@@ -100,7 +116,7 @@ class Request:
     the system has capacity for it)."""
 
     __slots__ = (
-        "rid", "cls", "arrival_ns", "pages", "_state",
+        "rid", "cls", "arrival_ns", "pages", "logical", "_state",
         "admitted_ns", "batched_ns", "dispatched_ns", "finished_ns",
     )
 
@@ -110,12 +126,17 @@ class Request:
         cls: RequestClass,
         arrival_ns: float,
         pages: Tuple[Tuple[int, int], ...],
+        logical: Tuple[int, ...] = (),
     ):
         self.rid = rid
         self.cls = cls
         self.arrival_ns = arrival_ns
-        #: (ssd_index, lba) coordinates this request reads.
+        #: Physical (ssd_index, device_lba) coordinates this request reads,
+        #: resolved once at arrival through the backend's placement policy.
         self.pages = pages
+        #: Logical LBAs behind ``pages`` (empty when the arrival process
+        #: replayed an explicit physical trace).
+        self.logical = logical
         self._state = RequestState.CREATED
         self.admitted_ns: Optional[float] = None
         self.batched_ns: Optional[float] = None

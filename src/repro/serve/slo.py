@@ -19,7 +19,7 @@ late request is capacity spent without value; it counts as ``slo_miss``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Sequence, Tuple
 
 from repro.config import NS_PER_S
 from repro.serve.request import Request, RequestClass, RequestState
@@ -90,6 +90,13 @@ class ServeReport:
     sim_events: int = 0
     batches: int = 0
     mean_batch_size: float = 0.0
+    #: Placement-layer accounting (defaults keep hand-built reports valid).
+    placement: str = ""
+    num_ssds: int = 0
+    #: Pages targeted per device index (offered traffic, pre-shed).
+    device_pages: Tuple[int, ...] = ()
+    #: Completed reads per device index (the driver's counters).
+    device_reads: Tuple[int, ...] = ()
 
     @property
     def offered(self) -> int:
@@ -116,6 +123,20 @@ class ServeReport:
         """Worst per-class p99 — the number a tenant-facing SLO quotes."""
         return max((c.p99_ns for c in self.classes.values()), default=0.0)
 
+    @property
+    def skew_ratio(self) -> float:
+        """Per-device utilization skew: busiest device's completed reads
+        over the even share (1.0 = perfectly balanced, ``num_ssds`` = all
+        load on one device).  Falls back to offered page counts when no
+        read completed; 1.0 when there is nothing to measure."""
+        counts = (
+            self.device_reads if any(self.device_reads) else self.device_pages
+        )
+        total = sum(counts)
+        if not counts or total == 0:
+            return 1.0
+        return max(counts) * len(counts) / total
+
     def as_dict(self) -> Dict[str, object]:
         return {
             "system": self.system,
@@ -130,6 +151,13 @@ class ServeReport:
             "sim_events": self.sim_events,
             "batches": self.batches,
             "mean_batch_size": self.mean_batch_size,
+            "placement": {
+                "policy": self.placement,
+                "num_ssds": self.num_ssds,
+                "device_pages": list(self.device_pages),
+                "device_reads": list(self.device_reads),
+                "skew_ratio": self.skew_ratio,
+            },
             "classes": {
                 name: rep.as_dict() for name, rep in sorted(self.classes.items())
             },

@@ -17,10 +17,10 @@ point and bit-identical across runs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence
 
-from repro.config import SystemConfig
+from repro.config import PlacementConfig, SystemConfig
 from repro.serve.arrival import ArrivalProcess, Poisson
 from repro.serve.backends import (
     AgileServeBackend,
@@ -34,6 +34,10 @@ from repro.serve.request import RequestClass
 from repro.serve.slo import ServeReport
 
 SYSTEMS = ("agile", "bam", "naive")
+
+#: Placement policies the sweep's ``--placement`` axis accepts (identity is
+#: reachable too, but only on a 1-SSD machine).
+PLACEMENTS = ("shard", "striped", "load_aware", "tenant_affine")
 
 #: Tenant mix used by the standard sweep (fractions sum to 1).
 POINT_FRACTION = 0.8
@@ -54,6 +58,14 @@ class SweepSpec:
     max_wait_ns: float = 50_000.0
     point_slo_ns: float = 2_000_000.0
     scan_slo_ns: float = 5_000_000.0
+    #: Placement policy for the SSD array (1-SSD machines use identity so
+    #: existing single-device traces stay bit-exact).
+    placement: str = "striped"
+    stripe_pages: int = 1
+    #: Hotspot skew applied to both tenant classes (0.0 = uniform draws,
+    #: which also keeps the pre-placement rng streams unchanged).
+    skew: float = 0.0
+    hot_fraction: float = 0.125
 
 
 @dataclass(frozen=True)
@@ -73,6 +85,9 @@ class ServePoint:
 
 
 def standard_classes(spec: SweepSpec) -> List[RequestClass]:
+    """The two-tenant mix on disjoint logical regions: ``point`` at the
+    bottom of the space, ``scan`` directly above it (disjoint regions are
+    what make tenant-affine placement meaningful)."""
     return [
         RequestClass(
             name="point",
@@ -81,6 +96,9 @@ def standard_classes(spec: SweepSpec) -> List[RequestClass]:
             weight=POINT_FRACTION,
             queue_timeout_ns=spec.point_slo_ns,
             lba_space=spec.lba_space,
+            lba_base=0,
+            skew=spec.skew,
+            hot_fraction=spec.hot_fraction,
         ),
         RequestClass(
             name="scan",
@@ -89,6 +107,9 @@ def standard_classes(spec: SweepSpec) -> List[RequestClass]:
             weight=SCAN_FRACTION,
             queue_timeout_ns=spec.scan_slo_ns,
             lba_space=spec.lba_space,
+            lba_base=spec.lba_space,
+            skew=spec.skew,
+            hot_fraction=spec.hot_fraction,
         ),
     ]
 
@@ -115,7 +136,19 @@ def build_backend(
 
 
 def _system_config(spec: SweepSpec) -> SystemConfig:
-    return SystemConfig(seed=spec.seed).with_ssds(spec.num_ssds)
+    """The simulated machine: ``num_ssds`` devices behind the spec's
+    placement policy.  A shard policy spans exactly the two class regions
+    (``2 * lba_space``), so contiguous regions land on contiguous devices —
+    the layout striping is supposed to beat under a hotspot."""
+    policy = spec.placement if spec.num_ssds > 1 else "identity"
+    return SystemConfig(
+        seed=spec.seed,
+        placement=PlacementConfig(
+            policy=policy,
+            stripe_pages=spec.stripe_pages,
+            shard_span=2 * spec.lba_space,
+        ),
+    ).with_ssds(spec.num_ssds)
 
 
 def run_serve_point(
@@ -131,7 +164,7 @@ def run_serve_point(
             max_batch=spec.max_batch, max_wait_ns=spec.max_wait_ns
         ),
     )
-    backend.load_pattern(spec.num_ssds, spec.lba_space, page_size=4096)
+    backend.load_pattern(classes)
     engine = ServeEngine(
         backend,
         classes,
@@ -180,4 +213,72 @@ def curves_as_dict(
             "knee_rps": knee_rps(points),
         }
         for system, points in sorted(curves.items())
+    }
+
+
+# -- placement axes -----------------------------------------------------------
+
+
+def grid_label(num_ssds: int, placement: str) -> str:
+    return f"ssds={num_ssds},placement={placement}"
+
+
+def run_placement_grid(
+    spec: SweepSpec,
+    ssd_counts: Sequence[int],
+    placements: Sequence[str],
+    systems: Sequence[str] = ("agile",),
+    num_gpus: int = 1,
+) -> Dict[str, Dict[str, List[ServePoint]]]:
+    """The scaled-out sweep: a full saturation curve per (array size,
+    placement policy) cell.  Keys are :func:`grid_label` strings."""
+    grid: Dict[str, Dict[str, List[ServePoint]]] = {}
+    for count in ssd_counts:
+        for placement in placements:
+            cell = replace(spec, num_ssds=count, placement=placement)
+            grid[grid_label(count, placement)] = run_saturation_sweep(
+                cell, systems=systems, num_gpus=num_gpus
+            )
+    return grid
+
+
+def grid_as_dict(
+    grid: Dict[str, Dict[str, List[ServePoint]]]
+) -> Dict[str, object]:
+    return {label: curves_as_dict(curves) for label, curves in grid.items()}
+
+
+def placement_comparison(
+    spec: SweepSpec,
+    rate_rps: float,
+    placements: Sequence[str] = PLACEMENTS,
+    system: str = "agile",
+) -> Dict[str, object]:
+    """Head-to-head policies at one offered load on one machine size.
+
+    The bench export and the CI placement-smoke job both read this: under
+    a hotspot (``spec.skew > 0``) striping should spread the hot head
+    across devices (low ``skew_ratio``) while static sharding funnels it
+    onto one device — visible as a higher skew ratio and, at a saturating
+    rate, lower goodput.
+    """
+    policies: Dict[str, object] = {}
+    for placement in placements:
+        pt = run_serve_point(
+            system, rate_rps, replace(spec, placement=placement)
+        )
+        policies[placement] = {
+            "goodput_rps": pt.report.goodput_rps,
+            "p99_ns": pt.report.p99_ns,
+            "completed": pt.report.completed,
+            "skew_ratio": pt.report.skew_ratio,
+            "device_reads": list(pt.report.device_reads),
+        }
+    return {
+        "system": system,
+        "num_ssds": spec.num_ssds,
+        "rate_rps": rate_rps,
+        "skew": spec.skew,
+        "seed": spec.seed,
+        "policies": policies,
     }

@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.core import AgileLockChain
 from repro.gpu.thread import ThreadContext
+from repro.placement import interleaved
 
 
 @dataclass(frozen=True)
@@ -36,14 +37,12 @@ class StripedRegion:
         return self.page_size // self.itemsize
 
     def locate(self, elem_idx: int) -> tuple[int, int, int]:
-        """-> (ssd, lba, byte offset) of one element."""
+        """-> (ssd, lba, byte offset) of one element, via the shared
+        page-interleaved placement mapping."""
         page = elem_idx // self.items_per_page
         offset = (elem_idx % self.items_per_page) * self.itemsize
-        return (
-            page % self.num_ssds,
-            self.base_lba + page // self.num_ssds,
-            offset,
-        )
+        ssd, row = interleaved(self.num_ssds).place(page)
+        return ssd, self.base_lba + row, offset
 
 
 def region(base_lba: int, num_ssds: int, dtype: np.dtype | str) -> StripedRegion:
@@ -109,7 +108,9 @@ def region_page_coords(
     used to preload the software cache for the Fig. 11 methodology."""
     nbytes = num_items * reg.itemsize
     n_pages = (nbytes + reg.page_size - 1) // reg.page_size
-    return [
-        (p % reg.num_ssds, reg.base_lba + p // reg.num_ssds)
-        for p in range(n_pages)
-    ]
+    policy = interleaved(reg.num_ssds)
+    coords = []
+    for p in range(n_pages):
+        ssd, row = policy.place(p)
+        coords.append((ssd, reg.base_lba + row))
+    return coords

@@ -31,6 +31,7 @@ from repro.baselines import BamHost
 from repro.config import CacheConfig, SsdConfig, SystemConfig
 from repro.core import AgileHost, AgileLockChain
 from repro.gpu import KernelSpec, LaunchConfig
+from repro.placement import interleaved
 from repro.workloads.criteo import CriteoTrace, make_criteo_trace
 
 SystemName = Literal["bam", "agile_sync", "agile_async"]
@@ -98,7 +99,8 @@ class EmbeddingLayout:
         """-> (ssd, lba, byte offset) under page-interleaved striping."""
         page = vec_idx // self.vecs_per_page
         offset = (vec_idx % self.vecs_per_page) * self.vec_bytes
-        return page % self.num_ssds, page // self.num_ssds, offset
+        ssd, lba = interleaved(self.num_ssds).place(page)
+        return ssd, lba, offset
 
     def table_bytes(self) -> int:
         return self.total_vecs * self.vec_bytes
@@ -222,8 +224,7 @@ def _agile_prefetch_kernel(layout: EmbeddingLayout):
             k = r * n_threads + tid
             if k < len(pages):
                 page = int(pages[k])
-                ssd = page % layout.num_ssds
-                lba = page // layout.num_ssds
+                ssd, lba = interleaved(layout.num_ssds).place(page)
                 yield from ctrl.prefetch(tc, chain, ssd, lba)
             else:
                 # Keep the warp's coalescing rounds uniform.

@@ -18,6 +18,7 @@ import numpy as np
 from repro.config import CacheConfig, SsdConfig, SystemConfig
 from repro.core import AgileHost, AgileLockChain
 from repro.gpu import KernelSpec, LaunchConfig
+from repro.placement import interleaved, round_robin
 
 
 @dataclass(frozen=True)
@@ -67,13 +68,18 @@ def _make_kernel(
         buf = bufs[tc.tid]
         rng = np.random.default_rng(rng_seed + tc.tid)
         lbas = rng.integers(0, lba_space, size=requests_per_thread)
+        # The paper's interleave, expressed through the placement layer's
+        # round-robin shim (request i -> SSD ``i mod n``, random device LBA).
+        policy = interleaved(num_ssds)
         pending = []
         for i in range(requests_per_thread):
-            ssd = (tc.tid * requests_per_thread + i) % num_ssds
+            ssd, lba = round_robin(
+                policy, tc.tid * requests_per_thread + i, int(lbas[i])
+            )
             if op == "read":
-                txn = yield from ctrl.raw_read(tc, chain, ssd, int(lbas[i]), buf)
+                txn = yield from ctrl.raw_read(tc, chain, ssd, lba, buf)
             else:
-                txn = yield from ctrl.raw_write(tc, chain, ssd, int(lbas[i]), buf)
+                txn = yield from ctrl.raw_write(tc, chain, ssd, lba, buf)
             pending.append(txn)
             if len(pending) >= inflight_per_thread:
                 yield from pending.pop(0).wait()

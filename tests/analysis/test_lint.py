@@ -276,6 +276,39 @@ class TestServeTerminalStates:
         assert run_lint(tmp_path, src) == []
 
 
+class TestDeviceIndexArith:
+    def test_modulo_num_ssds_fires(self, tmp_path):
+        v = run_lint(tmp_path, "def f(page, num_ssds):\n    return page % num_ssds\n")
+        assert codes(v) == ["AGL013"]
+        assert "PlacementPolicy" in v[0].message
+
+    def test_modulo_ssd_count_attribute_fires(self, tmp_path):
+        src = "def f(self, i):\n    return i % self.num_ssds\n"
+        assert codes(run_lint(tmp_path, src)) == ["AGL013"]
+
+    def test_modulo_len_of_ssds_fires(self, tmp_path):
+        src = "def f(i, cfg):\n    return i % len(cfg.ssds)\n"
+        assert codes(run_lint(tmp_path, src)) == ["AGL013"]
+
+    def test_placement_package_is_exempt(self, tmp_path):
+        pdir = tmp_path / "placement"
+        pdir.mkdir()
+        f = pdir / "policy.py"
+        f.write_text("def place(lba, num_ssds):\n    return lba % num_ssds\n")
+        assert lint_paths([str(f)]) == []
+
+    def test_unrelated_modulo_is_fine(self, tmp_path):
+        src = (
+            "def f(lba, num_sets, n_threads, tid):\n"
+            "    return lba % num_sets + tid % n_threads\n"
+        )
+        assert run_lint(tmp_path, src) == []
+
+    def test_len_of_non_ssd_sequence_is_fine(self, tmp_path):
+        src = "def f(i, workers):\n    return i % len(workers)\n"
+        assert run_lint(tmp_path, src) == []
+
+
 class TestCli:
     def test_main_exit_codes(self, tmp_path, capsys):
         dirty = tmp_path / "dirty.py"

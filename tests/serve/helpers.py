@@ -37,7 +37,7 @@ def small_serve_engine(
         ]
     if arrivals is None:
         arrivals = {cls.name: Poisson(rate_rps) for cls in classes}
-    backend.load_pattern(len(cfg.ssds), 256, 4096)
+    backend.load_pattern(classes)
     return ServeEngine(
         backend,
         classes,

@@ -8,6 +8,7 @@ from repro.config import (
     CacheConfig,
     GpuConfig,
     PcieConfig,
+    PlacementConfig,
     SsdConfig,
     SystemConfig,
     default_config,
@@ -74,12 +75,72 @@ class TestValidation:
         with pytest.raises(ValueError, match="at least one SSD"):
             cfg.validate()
 
+    def test_heterogeneous_page_sizes_rejected(self):
+        cfg = SystemConfig(
+            ssds=(
+                SsdConfig(name="ssd0"),
+                SsdConfig(name="ssd1", page_size=8192),
+            ),
+            cache=CacheConfig(line_size=8192),
+        )
+        with pytest.raises(ValueError, match="heterogeneous"):
+            cfg.validate()
+
+    def test_identity_placement_rejected_on_arrays(self):
+        cfg = SystemConfig(
+            ssds=(SsdConfig(name="ssd0"), SsdConfig(name="ssd1")),
+            placement=PlacementConfig(policy="identity"),
+        )
+        with pytest.raises(ValueError, match="identity placement"):
+            cfg.validate()
+
+    def test_unknown_placement_policy_rejected(self):
+        cfg = SystemConfig(placement=PlacementConfig(policy="raid6"))
+        with pytest.raises(ValueError, match="unknown placement"):
+            cfg.validate()
+
+    def test_stripe_must_divide_device_pages(self):
+        cfg = SystemConfig(
+            placement=PlacementConfig(policy="striped", stripe_pages=3)
+        )
+        with pytest.raises(ValueError, match="divide the device capacity"):
+            cfg.validate()
+
 
 class TestHelpers:
     def test_with_ssds_clones_base(self):
         cfg = SystemConfig().with_ssds(3)
         assert [s.name for s in cfg.ssds] == ["ssd0", "ssd1", "ssd2"]
         assert all(s.channels == cfg.ssds[0].channels for s in cfg.ssds)
+
+    def test_with_ssds_names_are_unique_and_ordered(self):
+        cfg = SystemConfig().with_ssds(5)
+        names = [s.name for s in cfg.ssds]
+        assert names == [f"ssd{i}" for i in range(5)]
+        assert len(set(names)) == 5
+
+    def test_with_ssds_revalidates_queue_limits_per_device(self):
+        """Growing the array re-runs validation against every device's
+        queue limits, not just the template's."""
+        base = SystemConfig(queue_pairs=200)
+        with pytest.raises(ValueError, match="queue pairs"):
+            base.with_ssds(4)
+
+    def test_with_ssds_promotes_identity_to_striped(self):
+        cfg = SystemConfig(
+            placement=PlacementConfig(policy="identity")
+        ).with_ssds(2)
+        assert cfg.placement.policy == "striped"
+
+    def test_with_ssds_policy_and_stripe_overrides(self):
+        cfg = SystemConfig().with_ssds(4, policy="shard")
+        assert cfg.placement.policy == "shard"
+        striped = SystemConfig().with_ssds(2, stripe_pages=4)
+        assert striped.placement.stripe_pages == 4
+
+    def test_describe_mentions_placement(self):
+        info = describe(SystemConfig().with_ssds(2))
+        assert "striped" in info["placement"]
 
     def test_cache_geometry(self):
         cache = CacheConfig(num_lines=128, ways=8)
