@@ -169,11 +169,23 @@ def export(argv: list[str]) -> int:
         "read", num_ssds=1, total_requests=perf_requests, num_threads=64
     )
     wall = time.perf_counter() - start
+    from repro.config import stable_hash
+    from repro.store.meta import BENCH_TREND_SCHEMA, stamp
+
+    # /2 adds git_sha + config_hash (the store's baseline key); the
+    # store's ingest adapters keep a compat reader for /1 artifacts.
     doc = {
-        "schema": "agile-bench-trend/1",
         "generated_unix": time.time(),
         "python": platform.python_version(),
         "quick": quick,
+        "config_hash": stable_hash(
+            {
+                "family": "agile-bench-trend",
+                "quick": quick,
+                "table_points": table_points,
+                "perf_requests": perf_requests,
+            }
+        ),
         "fig5_read_bandwidth": table,
         "perf": {
             "sim_events": point.sim_events,
@@ -186,6 +198,7 @@ def export(argv: list[str]) -> int:
         "serve_saturation": _serve_saturation_section(quick),
         "placement": _placement_section(quick),
     }
+    stamp(doc, BENCH_TREND_SCHEMA)
     with open(out, "w") as fh:
         json.dump(doc, fh, indent=2, sort_keys=True)
         fh.write("\n")

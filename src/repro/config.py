@@ -15,6 +15,9 @@ The reproduction targets *shapes and ratios*, not absolute wall-clock numbers.
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
+import json
 from dataclasses import dataclass, field, replace
 from typing import Mapping
 
@@ -28,6 +31,53 @@ NS_PER_S = 1e9
 def gbps_to_bytes_per_ns(gb_per_s: float) -> float:
     """Convert GB/s (decimal gigabytes) to bytes per nanosecond."""
     return gb_per_s * 1e9 / NS_PER_S
+
+
+# -- canonical hashing --------------------------------------------------------
+#
+# The experiment store (`repro.store`) keys every run by a configuration
+# fingerprint so results are comparable across commits.  The fingerprint
+# must be *canonical*: independent of dict insertion order, of tuple vs
+# list spelling, and of which dataclass layer produced the values.  Both
+# `SystemConfig.config_hash()` and the artifact ingest adapters hash
+# through the same two functions below, so "same machine, same knobs"
+# always lands on the same hex digest.
+
+
+def canonical_payload(obj: object) -> object:
+    """Reduce ``obj`` to a canonical JSON-able structure.
+
+    Dataclasses become field dicts, mappings are key-sorted (keys are
+    stringified), tuples/sets become sorted-where-unordered lists, and
+    scalars pass through.  The output round-trips through ``json.dumps``
+    deterministically.
+    """
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        obj = dataclasses.asdict(obj)
+    if isinstance(obj, Mapping):
+        return {
+            str(k): canonical_payload(v)
+            for k, v in sorted(obj.items(), key=lambda kv: str(kv[0]))
+        }
+    if isinstance(obj, (list, tuple)):
+        return [canonical_payload(v) for v in obj]
+    if isinstance(obj, (set, frozenset)):
+        return sorted(canonical_payload(v) for v in obj)  # type: ignore[type-var]
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    raise TypeError(f"cannot canonicalise {type(obj).__name__} for hashing")
+
+
+def stable_hash(obj: object) -> str:
+    """16-hex-digit sha256 of the canonical JSON encoding of ``obj``.
+
+    Stable under dict-order permutation and tuple/list spelling; floats
+    use Python's shortest round-trip repr, which is itself deterministic.
+    """
+    text = json.dumps(
+        canonical_payload(obj), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
 
 
 @dataclass(frozen=True)
@@ -335,6 +385,15 @@ class SystemConfig:
     #: Entries per submission queue.
     queue_depth: int = 64
     seed: int = 0xA617E
+
+    def config_hash(self) -> str:
+        """Canonical fingerprint of this machine (see :func:`stable_hash`).
+
+        Two configs built through different code paths but describing the
+        same machine hash identically; any field change — even nested —
+        produces a new digest.  The experiment store keys baselines by it.
+        """
+        return stable_hash(self)
 
     def with_ssds(
         self,

@@ -27,6 +27,7 @@ import json
 import sys
 from typing import List, Optional
 
+from repro.config import stable_hash
 from repro.serve.sweep import (
     PLACEMENTS,
     SYSTEMS,
@@ -191,8 +192,9 @@ def _cmd_sweep(args) -> int:
                 for pt in points:
                     print(_format_point(pt))
     if args.out:
+        from repro.store.meta import SERVE_SWEEP_SCHEMA, stamp
+
         doc = {
-            "schema": "agile-serve-sweep/2",
             "seed": spec.seed,
             "duration_ns": spec.duration_ns,
             "ssd_counts": list(ssd_counts),
@@ -200,8 +202,19 @@ def _cmd_sweep(args) -> int:
             "skew": args.skew,
             "num_gpus": args.num_gpus,
             "loads_rps": list(loads),
+            "config_hash": stable_hash(
+                {
+                    "family": "agile-serve-sweep",
+                    "spec": spec,
+                    "ssd_counts": list(ssd_counts),
+                    "placements": list(placements),
+                    "systems": list(systems),
+                    "num_gpus": args.num_gpus,
+                }
+            ),
             "grid": grid_as_dict(grid),
         }
+        stamp(doc, SERVE_SWEEP_SCHEMA)
         with open(args.out, "w", encoding="utf-8") as fh:
             json.dump(doc, fh, indent=2, sort_keys=True)
             fh.write("\n")
@@ -217,8 +230,10 @@ def _cmd_placement_smoke(args) -> int:
         num_ssds=args.ssds,
         skew=args.skew,
     )
+    from repro.store.meta import PLACEMENT_SMOKE_SCHEMA, stamp
+
     doc = placement_comparison(spec, args.rate, placements=("shard", "striped"))
-    doc["schema"] = "agile-placement-smoke/1"
+    stamp(doc, PLACEMENT_SMOKE_SCHEMA)
     shard = doc["policies"]["shard"]
     striped = doc["policies"]["striped"]
     for name in ("shard", "striped"):

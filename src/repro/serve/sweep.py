@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence
 
-from repro.config import PlacementConfig, SystemConfig
+from repro.config import PlacementConfig, SystemConfig, stable_hash
 from repro.serve.arrival import ArrivalProcess, Poisson
 from repro.serve.backends import (
     AgileServeBackend,
@@ -274,11 +274,26 @@ def placement_comparison(
             "skew_ratio": pt.report.skew_ratio,
             "device_reads": list(pt.report.device_reads),
         }
+    # The schema tag lives here (not in the CLI) so the comparison carries
+    # it wherever it is embedded — the standalone placement_smoke.json and
+    # the BENCH.json placement section ingest identically.  The literal
+    # matches repro.store.meta.PLACEMENT_SMOKE_SCHEMA; importing it would
+    # cycle (repro.store.explore drives this module).
     return {
+        "schema": "agile-placement-smoke/1",
         "system": system,
         "num_ssds": spec.num_ssds,
         "rate_rps": rate_rps,
         "skew": spec.skew,
         "seed": spec.seed,
+        "config_hash": stable_hash(
+            {
+                "family": "agile-placement-smoke",
+                "spec": spec,
+                "rate_rps": rate_rps,
+                "placements": list(placements),
+                "system": system,
+            }
+        ),
         "policies": policies,
     }

@@ -1,0 +1,287 @@
+"""Artifact → store adapters: one per JSON schema family.
+
+Each adapter turns one artifact document into a :class:`RunRecord` plus a
+flat list of :class:`Point` rows.  Ingestion is **lossless** by
+construction: the full document is kept verbatim in ``run.raw`` (so
+anything the flattener does not model round-trips untouched), while the
+points are a queryable *projection* — every numeric leaf of every result
+record, keyed by its sweep coordinates.
+
+Supported schemas:
+
+- ``agile-bench-trend/2`` and the legacy ``/1`` (no ``git_sha`` /
+  ``config_hash`` fields; a fingerprint is derived instead),
+- ``agile-serve-sweep/2``,
+- ``agile-placement-smoke/1`` and the tag-less legacy placement document
+  (detected by shape),
+- ``agile-explore/1`` (the store's own parameter-grid sweeps).
+
+Unknown schemas raise :class:`UnknownSchemaError` rather than guessing.
+"""
+
+from __future__ import annotations
+
+import numbers
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.config import stable_hash
+from repro.store.db import Point, RunRecord
+
+LEGACY_BENCH_TREND = "agile-bench-trend/1"
+
+#: Keys that never influence the config fingerprint of a legacy document:
+#: results, provenance, and wall-clock noise.
+_FINGERPRINT_SKIP = frozenset(
+    {
+        "fig5_read_bandwidth", "perf", "serve_saturation", "placement",
+        "grid", "policies", "cells", "curves",
+        "schema", "git_sha", "config_hash", "generated_unix", "python",
+    }
+)
+
+#: Per-record keys that are coordinates or payload, not metrics.
+_NON_METRIC_KEYS = frozenset(
+    {"name", "system", "op", "telemetry", "schema", "policy"}
+)
+
+
+class UnknownSchemaError(ValueError):
+    """The document matches no schema this store knows how to ingest."""
+
+
+def detect_schema(doc: Mapping[str, object]) -> str:
+    """The document's schema tag, inferring one for legacy artifacts."""
+    tag = doc.get("schema")
+    if isinstance(tag, str) and tag:
+        return tag
+    # Legacy shape detection, oldest artifacts first.
+    if "fig5_read_bandwidth" in doc:
+        return LEGACY_BENCH_TREND
+    if "grid" in doc and "ssd_counts" in doc:
+        return "agile-serve-sweep/2"
+    if "policies" in doc and "rate_rps" in doc:
+        return "agile-placement-smoke/1"
+    raise UnknownSchemaError(
+        "document has no schema tag and no recognisable shape "
+        f"(top-level keys: {sorted(map(str, doc))})"
+    )
+
+
+def config_fingerprint(doc: Mapping[str, object]) -> str:
+    """The document's baseline key.
+
+    Prefers the producer-stamped ``config_hash``; legacy documents hash
+    their non-result header fields (seed, loads, durations, axes) plus
+    the schema *family* (version-less, so a /1 baseline still gates a /2
+    run of the same configuration).
+    """
+    explicit = doc.get("config_hash")
+    if isinstance(explicit, str) and explicit:
+        return explicit
+    header = {
+        k: v for k, v in doc.items() if k not in _FINGERPRINT_SKIP
+    }
+    header["schema_family"] = detect_schema(doc).rsplit("/", 1)[0]
+    return stable_hash(header)
+
+
+def _numeric(value: object) -> Optional[float]:
+    """The value as a float when it is a real number (bools excluded)."""
+    if isinstance(value, bool):
+        return None
+    if isinstance(value, numbers.Real):
+        return float(value)
+    return None
+
+
+def _flatten_metrics(
+    record: Mapping[str, object], skip: frozenset = _NON_METRIC_KEYS
+) -> Iterator[Tuple[str, float]]:
+    """Every numeric leaf of ``record`` as dotted ``(metric, value)``.
+
+    Nested dicts gain a dotted prefix (``classes.point.goodput_rps``),
+    numeric lists index element-wise (``device_reads.2``); coordinate and
+    payload keys in ``skip`` are left to the axes / raw document.
+    """
+    for key in sorted(record, key=str):
+        if key in skip:
+            continue
+        value = record[key]
+        num = _numeric(value)
+        if num is not None:
+            yield str(key), num
+        elif isinstance(value, Mapping):
+            for sub, subval in _flatten_metrics(value, skip):
+                yield f"{key}.{sub}", subval
+        elif isinstance(value, Sequence) and not isinstance(value, str):
+            for i, item in enumerate(value):
+                num = _numeric(item)
+                if num is not None:
+                    yield f"{key}.{i}", num
+
+
+def _points(
+    axes: Mapping[str, object], record: Mapping[str, object]
+) -> List[Point]:
+    return [
+        Point(axes=dict(axes), metric=metric, value=value)
+        for metric, value in _flatten_metrics(record)
+    ]
+
+
+# -- per-family flatteners ----------------------------------------------------
+
+
+def _serve_curves_points(
+    base_axes: Mapping[str, object], curves: Mapping[str, object]
+) -> List[Point]:
+    """Points for a ``{system: {points, knee_rps}}`` curve set."""
+    out: List[Point] = []
+    for system in sorted(map(str, curves)):
+        entry = curves[system]
+        if not isinstance(entry, Mapping):
+            continue
+        axes = {**base_axes, "system": system}
+        knee = _numeric(entry.get("knee_rps"))
+        if knee is not None:
+            out.append(Point(axes=axes, metric="knee_rps", value=knee))
+        for pt in entry.get("points", ()):
+            if isinstance(pt, Mapping):
+                pt_axes = {**axes, "target_rps": pt.get("target_rps")}
+                skip = _NON_METRIC_KEYS | {"target_rps"}
+                out.extend(
+                    Point(axes=pt_axes, metric=m, value=v)
+                    for m, v in _flatten_metrics(pt, skip)
+                )
+    return out
+
+
+def _placement_policy_points(
+    base_axes: Mapping[str, object], policies: Mapping[str, object]
+) -> List[Point]:
+    out: List[Point] = []
+    for policy in sorted(map(str, policies)):
+        entry = policies[policy]
+        if isinstance(entry, Mapping):
+            out.extend(_points({**base_axes, "policy": policy}, entry))
+    return out
+
+
+def _bench_trend_points(doc: Mapping[str, object]) -> List[Point]:
+    out: List[Point] = []
+    for row in doc.get("fig5_read_bandwidth", ()):
+        if not isinstance(row, Mapping):
+            continue
+        axes = {
+            "section": "fig5",
+            "op": row.get("op"),
+            "num_ssds": row.get("num_ssds"),
+            "total_requests": row.get("total_requests"),
+        }
+        skip = _NON_METRIC_KEYS | {"num_ssds", "total_requests"}
+        out.extend(
+            Point(axes=axes, metric=m, value=v)
+            for m, v in _flatten_metrics(row, skip)
+        )
+    perf = doc.get("perf")
+    if isinstance(perf, Mapping):
+        out.extend(_points({"section": "perf"}, perf))
+    serve = doc.get("serve_saturation")
+    if isinstance(serve, Mapping) and isinstance(
+        serve.get("curves"), Mapping
+    ):
+        out.extend(
+            _serve_curves_points({"section": "serve"}, serve["curves"])
+        )
+    placement = doc.get("placement")
+    if isinstance(placement, Mapping) and isinstance(
+        placement.get("policies"), Mapping
+    ):
+        out.extend(
+            _placement_policy_points(
+                {"section": "placement"}, placement["policies"]
+            )
+        )
+    return out
+
+
+def _parse_grid_label(label: str) -> Dict[str, object]:
+    """``"ssds=2,placement=striped"`` → ``{"ssds": 2, "placement": ...}``."""
+    axes: Dict[str, object] = {}
+    for token in label.split(","):
+        key, _, value = token.partition("=")
+        axes[key.strip()] = (
+            int(value) if value.strip().isdigit() else value.strip()
+        )
+    return axes
+
+
+def _serve_sweep_points(doc: Mapping[str, object]) -> List[Point]:
+    out: List[Point] = []
+    grid = doc.get("grid")
+    if isinstance(grid, Mapping):
+        for label in sorted(map(str, grid)):
+            curves = grid[label]
+            if isinstance(curves, Mapping):
+                out.extend(
+                    _serve_curves_points(_parse_grid_label(label), curves)
+                )
+    return out
+
+
+def _placement_smoke_points(doc: Mapping[str, object]) -> List[Point]:
+    policies = doc.get("policies")
+    if not isinstance(policies, Mapping):
+        return []
+    return _placement_policy_points({}, policies)
+
+
+def _explore_points(doc: Mapping[str, object]) -> List[Point]:
+    out: List[Point] = []
+    for cell in doc.get("cells", ()):
+        if not isinstance(cell, Mapping):
+            continue
+        axes = cell.get("axes")
+        metrics = cell.get("metrics")
+        if isinstance(axes, Mapping) and isinstance(metrics, Mapping):
+            out.extend(_points(axes, metrics))
+    return out
+
+
+_ADAPTERS = {
+    "agile-bench-trend/1": _bench_trend_points,
+    "agile-bench-trend/2": _bench_trend_points,
+    "agile-serve-sweep/2": _serve_sweep_points,
+    "agile-placement-smoke/1": _placement_smoke_points,
+    "agile-explore/1": _explore_points,
+}
+
+
+def ingest_document(
+    doc: Mapping[str, object],
+    source: str = "",
+    created_at: Optional[float] = None,
+) -> Tuple[RunRecord, List[Point]]:
+    """One artifact document → its run row and flattened points.
+
+    ``run_id`` is the stable hash of the whole document, so re-ingesting
+    the same artifact replaces rather than duplicates.  ``created_at``
+    defaults to the artifact's own ``generated_unix`` stamp when present
+    (callers pass file mtimes for artifacts that predate the stamp).
+    """
+    schema = detect_schema(doc)
+    adapter = _ADAPTERS.get(schema)
+    if adapter is None:
+        raise UnknownSchemaError(f"no ingest adapter for schema {schema!r}")
+    if created_at is None:
+        created_at = _numeric(doc.get("generated_unix")) or 0.0
+    record = RunRecord(
+        run_id=stable_hash(doc),
+        schema=schema,
+        config_hash=config_fingerprint(doc),
+        created_at=created_at,
+        git_sha=str(doc.get("git_sha", "") or ""),
+        source=source,
+        raw=dict(doc),
+    )
+    return record, adapter(doc)

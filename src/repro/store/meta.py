@@ -1,0 +1,80 @@
+"""Uniform artifact metadata: schema tags and commit stamping.
+
+Every JSON artifact the repo emits (bench trend, serve sweep, placement
+smoke, explore grids) passes through :func:`stamp` so the three fields
+the experiment store keys on are always present and always spelled the
+same way:
+
+- ``schema``   — the artifact family and version, e.g.
+  ``agile-bench-trend/2``;
+- ``git_sha``  — the commit that produced the run (CI's ``GITHUB_SHA``
+  when set, else ``git rev-parse HEAD``, else ``""`` outside a repo);
+- ``config_hash`` — the :func:`~repro.config.stable_hash` fingerprint of
+  the knobs that make two runs comparable (baseline lookup key).
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import time
+from typing import Dict, MutableMapping, Optional
+
+#: Current schema tags, one per artifact family.  ``agile-bench-trend``
+#: is at /2 (adds git_sha + config_hash); the ingest adapters keep a
+#: compat reader for /1 documents.
+BENCH_TREND_SCHEMA = "agile-bench-trend/2"
+SERVE_SWEEP_SCHEMA = "agile-serve-sweep/2"
+PLACEMENT_SMOKE_SCHEMA = "agile-placement-smoke/1"
+EXPLORE_SCHEMA = "agile-explore/1"
+
+
+def now_unix() -> float:
+    """Wall-clock provenance timestamp (``generated_unix``).
+
+    This is the one sanctioned wall-clock read outside ``bench/`` (the
+    lint exempts exactly this file): provenance stamps describe when an
+    artifact was produced and must never feed back into simulated time.
+    """
+    return time.time()
+
+
+def git_sha() -> str:
+    """The producing commit, or ``""`` when unknowable.
+
+    Prefers CI's ``GITHUB_SHA`` (checkouts may be detached or shallow),
+    falls back to asking git, and degrades to empty rather than raising —
+    an artifact without provenance is still worth storing.
+    """
+    sha = os.environ.get("GITHUB_SHA", "")
+    if sha:
+        return sha
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=False,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return ""
+    return out.stdout.strip() if out.returncode == 0 else ""
+
+
+def stamp(
+    doc: MutableMapping[str, object],
+    schema: str,
+    config_hash: Optional[str] = None,
+) -> Dict[str, object]:
+    """Stamp ``schema`` / ``git_sha`` / ``config_hash`` into ``doc``.
+
+    Mutates and returns the document.  ``config_hash`` is left untouched
+    when already present and no override is given (the producer computed
+    it from its own spec).
+    """
+    doc["schema"] = schema
+    doc["git_sha"] = git_sha()
+    if config_hash is not None:
+        doc["config_hash"] = config_hash
+    return dict(doc)

@@ -1,0 +1,188 @@
+"""Synthetic artifact documents matching every schema the store ingests.
+
+Hand-built miniatures of the real exporters' output shapes — small
+enough that every test constructs, mutates, and round-trips them in
+microseconds, complete enough that the adapters exercise every branch
+(grid labels, per-class nests, device-read lists, telemetry blobs).
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Dict
+
+
+def serve_point(goodput: float, p99: float, target: float) -> Dict:
+    return {
+        "system": "agile",
+        "target_rps": target,
+        "duration_ns": 2_000_000.0,
+        "offered_rps": target,
+        "offered": 40,
+        "completed": 38,
+        "shed": 1,
+        "aborted": 1,
+        "goodput_rps": goodput,
+        "p99_ns": p99,
+        "sim_events": 12_345,
+        "batches": 6,
+        "mean_batch_size": 6.3,
+        "placement": {
+            "policy": "striped",
+            "num_ssds": 2,
+            "device_pages": [20, 21],
+            "device_reads": [19, 19],
+            "skew_ratio": 1.0,
+        },
+        "classes": {
+            "point": {
+                "name": "point",
+                "offered": 32,
+                "completed": 31,
+                "shed": 1,
+                "queue_timeout": 0,
+                "aborted": 0,
+                "slo_ok": 30,
+                "slo_attainment": 0.94,
+                "p50_ns": 90_000.0,
+                "p95_ns": 220_000.0,
+                "p99_ns": p99,
+                "mean_latency_ns": 110_000.0,
+                "goodput_rps": goodput * 0.8,
+            },
+        },
+    }
+
+
+def serve_sweep_doc(goodput: float = 20_000.0) -> Dict:
+    """An ``agile-serve-sweep/2`` miniature (one cell, one system)."""
+    return {
+        "schema": "agile-serve-sweep/2",
+        "git_sha": "c0ffee" * 6 + "c0ff",
+        "config_hash": "feedbeeffeedbeef",
+        "seed": 7,
+        "duration_ns": 2_000_000.0,
+        "ssd_counts": [2],
+        "placements": ["striped"],
+        "skew": 0.0,
+        "num_gpus": 1,
+        "loads_rps": [20_000.0],
+        "grid": {
+            "ssds=2,placement=striped": {
+                "agile": {
+                    "knee_rps": 20_000.0,
+                    "points": [
+                        serve_point(goodput, p99=300_000.0, target=20_000.0)
+                    ],
+                },
+            },
+        },
+    }
+
+
+def placement_smoke_doc(striped_skew: float = 1.1) -> Dict:
+    """An ``agile-placement-smoke/1`` miniature (two policies)."""
+    return {
+        "schema": "agile-placement-smoke/1",
+        "git_sha": "c0ffee" * 6 + "c0ff",
+        "config_hash": "0123456789abcdef",
+        "system": "agile",
+        "num_ssds": 4,
+        "rate_rps": 80_000.0,
+        "skew": 0.8,
+        "seed": 7,
+        "policies": {
+            "shard": {
+                "goodput_rps": 70_000.0,
+                "p99_ns": 450_000.0,
+                "completed": 350,
+                "skew_ratio": 1.9,
+                "device_reads": [270, 29, 307, 33],
+            },
+            "striped": {
+                "goodput_rps": 76_000.0,
+                "p99_ns": 380_000.0,
+                "completed": 380,
+                "skew_ratio": striped_skew,
+                "device_reads": [156, 177, 137, 169],
+            },
+        },
+    }
+
+
+def bench_trend_doc(schema: str = "agile-bench-trend/2") -> Dict:
+    """A bench-trend miniature; pass ``.../1`` for the legacy shape."""
+    doc = {
+        "schema": schema,
+        "generated_unix": 1_700_000_000.0,
+        "python": "3.12.0",
+        "quick": True,
+        "fig5_read_bandwidth": [
+            {
+                "op": "read",
+                "num_ssds": 1,
+                "total_requests": 512,
+                "duration_ns": 7.5e6,
+                "bandwidth_gbps": 3.64,
+                "sim_events": 123_456,
+                "device_errors": 0,
+                "telemetry": {"metrics": {"gpu.stall_ns": 42}, "spans": []},
+            },
+            {
+                "op": "read",
+                "num_ssds": 2,
+                "total_requests": 512,
+                "duration_ns": 4.1e6,
+                "bandwidth_gbps": 6.9,
+                "sim_events": 150_000,
+                "device_errors": 0,
+                "telemetry": {"metrics": {}, "spans": []},
+            },
+        ],
+        "perf": {
+            "sim_events": 246_244,
+            "wall_s": 0.61,
+            "events_per_sec": 401_682.9,
+            "total_requests": 1024,
+            "bandwidth_gbps": 2.39,
+            "device_errors": 0,
+        },
+        "serve_saturation": {
+            "seed": 7,
+            "duration_ns": 2_000_000.0,
+            "loads_rps": [20_000.0],
+            "curves": {
+                "agile": {
+                    "knee_rps": 20_000.0,
+                    "points": [
+                        serve_point(19_700.0, p99=250_000.0, target=20_000.0)
+                    ],
+                },
+            },
+        },
+        "placement": placement_smoke_doc()
+        | {"schema": "agile-placement-smoke/1"},
+    }
+    if schema == "agile-bench-trend/2":
+        doc["git_sha"] = "c0ffee" * 6 + "c0ff"
+        doc["config_hash"] = "cafebabecafebabe"
+    return doc
+
+
+def scale_metric(doc: Dict, metric: str, factor: float) -> Dict:
+    """A deep copy of ``doc`` with every ``metric`` leaf scaled."""
+    out = copy.deepcopy(doc)
+
+    def walk(node):
+        if isinstance(node, dict):
+            for key, value in node.items():
+                if key == metric and isinstance(value, (int, float)):
+                    node[key] = value * factor
+                else:
+                    walk(value)
+        elif isinstance(node, list):
+            for item in node:
+                walk(item)
+
+    walk(out)
+    return out
