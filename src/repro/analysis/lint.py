@@ -46,6 +46,13 @@ know about; this one enforces the repository's:
   :class:`~repro.placement.PlacementPolicy` (or its documented compat
   shims ``interleaved``/``round_robin``), so an array-layout change is a
   policy swap, not a grep across every workload.
+- **AGL014** — no direct mutation of the flash page store (``._pages``
+  assignment, ``del``, or mutator calls like ``.pop()``/``.update()``)
+  outside ``repro/nvme/ftl.py``: the FTL owns physical page contents, and
+  every change must flow through its program/invalidate/erase paths so
+  the L2P map, per-block valid counts, and the WAF/conservation ledger
+  (``host_programs + gc_programs + seeded_pages - invalidations ==
+  live_pages``) cannot drift from the stored bytes.
 
 Exit status is 0 when clean, 1 when any violation is found.
 """
@@ -115,6 +122,11 @@ STATE_ATTR_NAMES = {"state", "_state", "status", "_status"}
 #: Names that hold an SSD-array size (AGL013): ``x % <one of these>``
 #: fabricates a device index by hand, bypassing the placement layer.
 SSD_COUNT_NAMES = {"num_ssds", "n_ssds", "nssds", "ssd_count", "num_devices"}
+
+#: The FTL's physical page store attribute (AGL014) and the dict methods
+#: that mutate it in place.
+PAGE_STORE_NAME = "_pages"
+PAGE_STORE_MUTATORS = {"pop", "popitem", "update", "setdefault", "clear"}
 
 
 @dataclass(frozen=True)
@@ -214,6 +226,9 @@ class _FileLinter:
         self.serve_state_ok = path.name == "request.py" and "serve" in parts
         #: The placement package owns logical->physical mapping arithmetic.
         self.placement_ok = "placement" in parts
+        #: The FTL owns the flash page store; everyone else reads pages
+        #: through FlashArray/Ftl accessors and writes via programs.
+        self.page_store_ok = path.name == "ftl.py" and "nvme" in parts
 
     def add(self, node: ast.AST, code: str, message: str) -> None:
         self.violations.append(
@@ -238,6 +253,9 @@ class _FileLinter:
             elif isinstance(node, (ast.Assign, ast.AugAssign)):
                 self._check_stats_mutation(node)
                 self._check_terminal_state_mutation(node)
+                self._check_page_store_mutation(node)
+            elif isinstance(node, ast.Delete):
+                self._check_page_store_mutation(node)
             elif isinstance(node, ast.BinOp):
                 self._check_device_index_arith(node)
             if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
@@ -258,6 +276,18 @@ class _FileLinter:
                 f"call to scheduler internal .{node.func.attr}() outside "
                 f"sim/engine.py; use schedule_immediate/schedule_at/spawn "
                 f"or trigger an Event",
+            )
+        if (
+            not self.page_store_ok
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in PAGE_STORE_MUTATORS
+            and self._bare_name(node.func.value) == PAGE_STORE_NAME
+        ):
+            self.add(
+                node, "AGL014",
+                f"flash page-store mutator _pages.{node.func.attr}() "
+                f"outside repro/nvme/ftl.py; page contents change only "
+                f"through the FTL's program/invalidate/erase paths",
             )
         dotted = _dotted(node.func)
         if dotted is None:
@@ -372,6 +402,34 @@ class _FileLinter:
                     f"ad-hoc terminal-state assignment {name} = "
                     f"...{value.attr}; request terminal states may only be "
                     f"set via Request.transition (serve/request.py)",
+                )
+
+    def _check_page_store_mutation(
+        self, node: ast.Assign | ast.AugAssign | ast.Delete
+    ) -> None:
+        """AGL014: flash page contents change only inside the FTL, where
+        the L2P map and the WAF/conservation ledger move with them."""
+        if self.page_store_ok:
+            return
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.Delete):
+            targets = node.targets
+        else:
+            targets = [node.target]
+        for tgt in targets:
+            if isinstance(tgt, ast.Subscript):
+                name = self._bare_name(tgt.value)
+                shape = f"{name}[...]"
+            else:
+                name = self._bare_name(tgt)
+                shape = f"{name} = ..."
+            if name == PAGE_STORE_NAME:
+                self.add(
+                    tgt, "AGL014",
+                    f"direct flash page-store mutation ({shape}) outside "
+                    f"repro/nvme/ftl.py; page contents change only through "
+                    f"the FTL's program/invalidate/erase paths",
                 )
 
     def _check_device_index_arith(self, node: ast.BinOp) -> None:

@@ -138,10 +138,49 @@ class SsdConfig:
     #: Maximum entries per submission/completion queue.
     max_queue_depth: int = 1024
     pcie: PcieConfig = field(default_factory=PcieConfig)
+    # -- FTL geometry and garbage collection (repro.nvme.ftl) -----------------
+    #: Pages per erase block (NAND erase granularity).
+    pages_per_block: int = 256
+    #: Over-provisioned spare blocks as a fraction of the logical block
+    #: count (enterprise drives ship ~7%; GC headroom lives here).
+    op_ratio: float = 0.07
+    #: Block erase service time (ns).  Erase is ~25-50x a page program on
+    #: real NAND; this is the program/erase asymmetry GC pauses come from.
+    erase_latency_ns: float = 2_000_000.0
+    #: GC victim selection: ``greedy`` (min valid pages) or
+    #: ``cost_benefit`` (age-weighted utilization, Rosenblum-style).
+    gc_policy: str = "greedy"
+    #: Background GC starts when the free-block pool drops below this.
+    gc_low_water_blocks: int = 4
+    #: ...and runs until the pool is back above this.
+    gc_high_water_blocks: int = 8
+    #: Out-of-place programs with invalidation + GC.  ``False`` degrades to
+    #: in-place updates (WAF = 1.0, no erases) — the pre-FTL timing model
+    #: and the GC-off baseline for tail-latency comparisons.
+    gc_enabled: bool = True
 
     @property
     def num_pages(self) -> int:
         return self.capacity_bytes // self.page_size
+
+    @property
+    def num_blocks(self) -> int:
+        """Logical capacity in erase blocks."""
+        return self.num_pages // self.pages_per_block
+
+    @property
+    def op_blocks(self) -> int:
+        """Over-provisioned spare blocks (at least one when GC is on)."""
+        spare = int(self.num_blocks * self.op_ratio)
+        return max(spare, 1) if self.gc_enabled else spare
+
+    @property
+    def physical_blocks(self) -> int:
+        return self.num_blocks + self.op_blocks
+
+    @property
+    def physical_pages(self) -> int:
+        return self.physical_blocks * self.pages_per_block
 
     @property
     def peak_read_bw(self) -> float:
@@ -286,12 +325,17 @@ class FaultConfig:
     pcie_stall_rate: float = 0.0
     #: Duration of one transient PCIe stall (ns).
     pcie_stall_ns: float = 120_000.0
+    #: Probability a block erase fails; the FTL retires the block as bad.
+    flash_erase_error_rate: float = 0.0
     #: Fault window start (simulated ns).
     window_start_ns: float = 0.0
     #: Fault window end (simulated ns; ``inf`` = whole run).
     window_end_ns: float = float("inf")
     #: Deterministic: the first N flash page reads fail (then rates apply).
     flash_read_fail_first: int = 0
+    #: Deterministic: the first N flash page programs fail (then rates
+    #: apply).  GC relocation programs draw from the same budget.
+    flash_program_fail_first: int = 0
     #: Deterministic: the first N completions are dropped (then rates apply).
     cqe_drop_first: int = 0
 
@@ -305,7 +349,9 @@ class FaultConfig:
             or self.cqe_drop_rate > 0.0
             or self.cqe_duplicate_rate > 0.0
             or self.pcie_stall_rate > 0.0
+            or self.flash_erase_error_rate > 0.0
             or self.flash_read_fail_first > 0
+            or self.flash_program_fail_first > 0
             or self.cqe_drop_first > 0
         )
 
@@ -448,6 +494,32 @@ class SystemConfig:
                 )
             if self.queue_depth < 2:
                 raise ValueError("queue depth must be at least 2")
+        for ssd in self.ssds:
+            if ssd.pages_per_block < 1:
+                raise ValueError(f"{ssd.name}: pages_per_block must be >= 1")
+            if ssd.num_pages % ssd.pages_per_block:
+                raise ValueError(
+                    f"{ssd.name}: pages_per_block={ssd.pages_per_block} must "
+                    f"divide the device capacity of {ssd.num_pages} pages"
+                )
+            if not 0.0 <= ssd.op_ratio < 1.0:
+                raise ValueError(
+                    f"{ssd.name}: op_ratio must be in [0, 1), got {ssd.op_ratio}"
+                )
+            if ssd.erase_latency_ns <= 0:
+                raise ValueError(f"{ssd.name}: erase_latency_ns must be positive")
+            if ssd.gc_policy not in ("greedy", "cost_benefit"):
+                raise ValueError(
+                    f"{ssd.name}: gc_policy must be 'greedy' or "
+                    f"'cost_benefit', got {ssd.gc_policy!r}"
+                )
+            if ssd.gc_low_water_blocks < 1:
+                raise ValueError(f"{ssd.name}: gc_low_water_blocks must be >= 1")
+            if ssd.gc_high_water_blocks < ssd.gc_low_water_blocks:
+                raise ValueError(
+                    f"{ssd.name}: gc_high_water_blocks must be >= "
+                    "gc_low_water_blocks"
+                )
         page_sizes = {ssd.page_size for ssd in self.ssds}
         if len(page_sizes) > 1:
             raise ValueError(
@@ -470,6 +542,7 @@ class SystemConfig:
             "flash_read_error_rate", "flash_write_error_rate",
             "flash_latency_outlier_rate", "cqe_drop_rate",
             "cqe_duplicate_rate", "pcie_stall_rate",
+            "flash_erase_error_rate",
         ):
             rate = getattr(self.faults, name)
             if not 0.0 <= rate <= 1.0:

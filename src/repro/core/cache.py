@@ -460,10 +460,11 @@ class SoftwareCache:
         yield from tc.compute(self.api.cache_insert_cycles)
         if writeback is not None:
             wb_ssd, wb_lba, snapshot, wb_logical = writeback
-            yield from self.issue.submit(
+            wb_txn = yield from self.issue.submit(
                 tc, chain, wb_ssd, Opcode.WRITE, wb_lba, snapshot,
                 label="evict", logical=wb_logical,
             )
+            wb_txn.on_complete = self._finish_writeback
         # DRAM-tier short-circuit (§5 extension): serve the fill from host
         # memory when possible, skipping flash entirely.
         if self.dram_tier is not None:
@@ -521,6 +522,21 @@ class SoftwareCache:
         self.set_line_state(line, LineState.READY, reason="fill")
         self.policy.on_fill(line.set_idx, line.way)
         line.ready_gate.open()
+
+    def _finish_writeback(
+        self, completion: Optional[NvmeCompletion] = None
+    ) -> None:
+        """Eviction write-back completion: durable ack or declared loss.
+
+        Transient program faults are abort-and-resubmitted by recovery
+        before this runs, so a non-ok completion here is terminal (retries
+        exhausted, breaker open, or a synthetic ABORT) — the dirty snapshot
+        is gone and the loss is counted, never silent.
+        """
+        if completion is None or completion.ok:
+            self.stats.add("writebacks_acked")
+        else:
+            self.stats.add("writebacks_lost")
 
     def _abort_fill(self, line: CacheLine, tag: tuple[Any, int]) -> None:
         """Failed fill: release the claim so the line cannot stick in BUSY.

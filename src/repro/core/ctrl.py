@@ -402,3 +402,43 @@ class AgileCtrl:
             label="raw", logical=int(lba),
         )
         return txn
+
+    def raw_write_logical(
+        self,
+        tc: ThreadContext,
+        chain: AgileLockChain,
+        lba: int,
+        src: np.ndarray,
+        tenant: Optional[str] = None,
+    ) -> Generator[Any, Any, Transaction]:
+        """Bare logical NVMe write: placement-resolved, cache-bypassing
+        (streaming stores — checkpoint shards — that should not pollute
+        the cache).  The caller owns ``src`` until the transaction
+        completes; the device programs each page through its FTL."""
+        self.stats.add("logical_writes")
+        ssd_idx, device_lba = self.resolve(lba, tenant)
+        txn = yield from self.issue.submit(
+            tc, chain, ssd_idx, Opcode.WRITE, device_lba, src,
+            label="raw", logical=int(lba),
+        )
+        return txn
+
+    def write_page_logical(
+        self,
+        tc: ThreadContext,
+        chain: AgileLockChain,
+        lba: int,
+        data: np.ndarray,
+        tenant: Optional[str] = None,
+    ) -> Generator[Any, Any, None]:
+        """Cache-routed logical page write: acquire-for-write, copy the
+        payload into the pinned line (MODIFIED), unpin.  Durability rides
+        on the eviction write-back path — this is what builds the dirty
+        working set that makes eviction pressure produce device programs."""
+        self.stats.add("logical_cache_writes")
+        route = self.resolve(lba, tenant)
+        line = yield from self.cache.acquire_logical(
+            tc, chain, lba, route, pin=True, wait=True, for_write=True
+        )
+        yield from self.cache.write_line(tc, line, data)
+        self.cache.unpin(line)

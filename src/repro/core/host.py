@@ -212,6 +212,7 @@ class AgileHost:
         )
         for ssd in self.ssds:
             ssd.tel = tel
+            ssd.flash.ftl.tel = tel
             ssd.fetch_batch = reg.histogram(
                 f"nvme.ssd{ssd.index}.fetch_batch",
                 description="SQEs fetched per doorbell-triggered DMA burst",

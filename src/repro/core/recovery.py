@@ -41,7 +41,7 @@ from typing import Any, Generator, Optional
 from repro.config import RecoveryConfig
 from repro.core.issue import IssueEngine, PendingCommand
 from repro.core.locks import AgileLockChain
-from repro.nvme.command import NvmeCommand, NvmeCompletion, Status
+from repro.nvme.command import NvmeCommand, NvmeCompletion, Opcode, Status
 from repro.nvme.queue import SlotState
 from repro.sim.engine import Process, Simulator, Timeout
 from repro.telemetry import Counter
@@ -113,16 +113,37 @@ class RecoveryManager:
 
     def on_completion(
         self, record: PendingCommand, completion: NvmeCompletion
-    ) -> None:
-        """Service-side hook: feed every live completion to the breaker."""
+    ) -> bool:
+        """Service-side hook: feed every live completion to the breaker.
+
+        Returns ``True`` when recovery took the command over for retry —
+        an error-status WRITE with retries left and a closed breaker.  The
+        dirty snapshot still rides in ``record.data``, so the program is
+        abort-and-resubmitted rather than surfaced: dirty cache lines are
+        never silently dropped on a transient program fault.  The caller
+        must then *not* finish the transaction; the record re-enters the
+        pending table under a fresh generation token.
+        """
         br = self.breakers[record.ssd_idx]
         if completion.ok:
             br.consecutive_failures = 0
-        else:
-            self.stats.add("error_completions")
-            self._note_failure(
-                record.ssd_idx, f"status {completion.status.name}"
+            return False
+        self.stats.add("error_completions")
+        self._note_failure(record.ssd_idx, f"status {completion.status.name}")
+        if (
+            record.opcode is Opcode.WRITE
+            and not br.open
+            and record.retries < self.cfg.max_retries
+        ):
+            self.stats.add("write_retries")
+            self.resubmitting += 1
+            self.sim.spawn(
+                self._resubmit(record),
+                name=f"recovery.rewrite.{record.token}",
+                daemon=True,
             )
+            return True
+        return False
 
     def _note_failure(self, ssd_idx: int, why: str) -> None:
         br = self.breakers[ssd_idx]

@@ -161,8 +161,16 @@ class AgileService:
                 token=completion.context,
             )
             if record is not None:
-                if recovery is not None:
-                    recovery.on_completion(record, completion)
+                if recovery is not None and recovery.on_completion(
+                    record, completion
+                ):
+                    # Recovery took the command over (failed WRITE being
+                    # abort-and-resubmitted): the transaction stays open
+                    # until the retry — or a terminal ABORT — finishes it.
+                    self.stats.add("retried_completions")
+                    processed += 1
+                    pos += 1
+                    continue
                 if not completion.ok:
                     self.stats.add("error_completions")
                 record.txn.finish(completion)

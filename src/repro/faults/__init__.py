@@ -48,11 +48,13 @@ class FaultInjector:
         self._flash_read = rng.stream("faults.flash_read")
         self._flash_write = rng.stream("faults.flash_write")
         self._flash_latency = rng.stream("faults.flash_latency")
+        self._flash_erase = rng.stream("faults.flash_erase")
         self._cqe_drop = rng.stream("faults.cqe_drop")
         self._cqe_dup = rng.stream("faults.cqe_dup")
         self._pcie = rng.stream("faults.pcie")
         #: Remaining count-based deterministic failures (targeted tests).
         self._read_fail_budget = cfg.flash_read_fail_first
+        self._program_fail_budget = cfg.flash_program_fail_first
         self._drop_budget = cfg.cqe_drop_first
 
     def _window_open(self) -> bool:
@@ -75,12 +77,27 @@ class FaultInjector:
         return False
 
     def flash_write_fails(self, lba: int) -> bool:
-        """Decide one page program's fate."""
+        """Decide one page program's fate (host and GC programs alike)."""
+        if self._program_fail_budget > 0:
+            self._program_fail_budget -= 1
+            self.stats.add("flash_write_errors")
+            return True
         rate = self.cfg.flash_write_error_rate
         if rate <= 0.0 or not self._window_open():
             return False
         if self._flash_write.random() < rate:
             self.stats.add("flash_write_errors")
+            return True
+        return False
+
+    def flash_erase_fails(self, block: int) -> bool:
+        """Decide one block erase's fate; a failed erase retires the block
+        as bad (the FTL drops it from the free pool permanently)."""
+        rate = self.cfg.flash_erase_error_rate
+        if rate <= 0.0 or not self._window_open():
+            return False
+        if self._flash_erase.random() < rate:
+            self.stats.add("flash_erase_errors")
             return True
         return False
 
@@ -156,4 +173,30 @@ def plan_from_seed(seed: int, intensity: float = 1.0) -> FaultConfig:
     )
 
 
-__all__ = ["FaultInjector", "plan_from_seed"]
+def program_erase_plan_from_seed(
+    seed: int, intensity: float = 1.0
+) -> FaultConfig:
+    """Derive a write-path storm plan: program faults, erase faults, and
+    latency outliers aimed at the FTL/GC machinery.
+
+    Draws come from their own ``faults.pe_plan`` stream, so adding this
+    storm class never perturbed the classic :func:`plan_from_seed` storms
+    (same seed, same rates as before).  Read-side and completion-path rates
+    are kept low: the class exists to hammer programs, erases, and the
+    write-back recovery path.
+    """
+    draw = RngStreams(seed).stream("faults.pe_plan")
+    scale = max(0.0, intensity)
+    return FaultConfig(
+        flash_write_error_rate=min(1.0, float(draw.uniform(0.01, 0.08)) * scale),
+        flash_erase_error_rate=min(1.0, float(draw.uniform(0.0, 0.10)) * scale),
+        flash_latency_outlier_rate=min(
+            1.0, float(draw.uniform(0.0, 0.04)) * scale
+        ),
+        flash_latency_outlier_mult=float(draw.uniform(5.0, 30.0)),
+        flash_read_error_rate=min(1.0, float(draw.uniform(0.0, 0.01)) * scale),
+        cqe_drop_rate=min(1.0, float(draw.uniform(0.0, 0.01)) * scale),
+    )
+
+
+__all__ = ["FaultInjector", "plan_from_seed", "program_erase_plan_from_seed"]

@@ -175,17 +175,23 @@ class SsdController:
                 yield from self.link.dma_read(nbytes)
                 if self.gpu_pipe is not None:
                     yield from self.gpu_pipe.transfer(nbytes)
-                if cmd.data is not None:
-                    self._copy_target_to_flash(cmd)
                 ok = True
+                page = self.cfg.page_size
                 for p in range(cmd.num_pages):
-                    ok = yield from self.flash.write_service(cmd.lba + p)
+                    chunk = (
+                        np.asarray(cmd.data[p * page : (p + 1) * page])
+                        if cmd.data is not None
+                        else None
+                    )
+                    ok = yield from self.flash.program_service(
+                        cmd.lba + p, chunk
+                    )
                     if not ok:
                         break
                 if not ok:
-                    # Program failed; page contents are undefined, which the
-                    # already-applied copy models (real NAND leaves the page
-                    # in an indeterminate state on a program fault).
+                    # Program failed: the FTL never committed the faulted
+                    # page, so the old mapping stays visible (pages earlier
+                    # in the command are already durable).
                     status = Status.WRITE_FAULT
                 else:
                     self.completed_writes += 1
@@ -209,12 +215,6 @@ class SsdController:
         for p in range(cmd.num_pages):
             data = self.flash.read_page_data(cmd.lba + p)
             cmd.data[p * page : (p + 1) * page] = data
-
-    def _copy_target_to_flash(self, cmd: NvmeCommand) -> None:
-        page = self.cfg.page_size
-        for p in range(cmd.num_pages):
-            chunk = np.asarray(cmd.data[p * page : (p + 1) * page])
-            self.flash.write_page_data(cmd.lba + p, chunk)
 
     def _post_completion(
         self, qp: QueuePair, cmd: NvmeCommand, status: Status
@@ -259,8 +259,9 @@ class SsdController:
     def completed(self) -> int:
         return self.completed_reads + self.completed_writes
 
-    def stats(self) -> dict[str, int]:
-        """Health/throughput counters for bench reports and diagnostics."""
+    def stats(self) -> dict[str, float]:
+        """Health/throughput counters for bench reports and diagnostics
+        (FTL write-path accounting — WAF, GC, free blocks — rides along)."""
         return {
             "completed_reads": self.completed_reads,
             "completed_writes": self.completed_writes,
@@ -271,4 +272,5 @@ class SsdController:
             "flash_write_errors": self.flash.write_errors,
             "dropped_cqes": self.dropped_cqes,
             "duplicated_cqes": self.duplicated_cqes,
+            **self.flash.ftl.stats(),
         }

@@ -3,7 +3,7 @@
 ``sweep`` drives offered load across AGILE / BaM / naive-async on an
 identical seed-deterministic arrival timeline and prints goodput + tail
 latency per point, optionally writing the full curve set as JSON (schema
-``agile-serve-sweep/2``).  ``--ssds`` and ``--placement`` accept comma
+``agile-serve-sweep/3``).  ``--ssds`` and ``--placement`` accept comma
 lists and expand into a grid: one saturation curve per (array size,
 placement policy) cell.
 
@@ -118,6 +118,19 @@ def _parse_args(argv: Optional[List[str]]) -> argparse.Namespace:
     smoke.add_argument("--skew", type=float, default=SMOKE_SKEW)
     smoke.add_argument("--duration-ms", type=float, default=5.0)
     smoke.add_argument("--out", default="", help="write comparison JSON here")
+
+    wp = sub.add_parser(
+        "write-path",
+        help="write-heavy GC-on/GC-off tail-latency comparison",
+    )
+    wp.add_argument("--seed", type=int, default=7)
+    wp.add_argument(
+        "--loads",
+        default="",
+        help="comma-separated offered loads in requests/s "
+        "(default: a GC-knee-straddling ladder)",
+    )
+    wp.add_argument("--out", default="", help="write comparison JSON here")
     return parser.parse_args(argv)
 
 
@@ -264,10 +277,67 @@ def _cmd_placement_smoke(args) -> int:
     return 0
 
 
+def _cmd_write_path(args) -> int:
+    from repro.serve.writepath import quick_spec, write_path_comparison
+    from repro.store.meta import WRITE_PATH_SCHEMA, stamp
+
+    loads = (
+        tuple(float(tok) for tok in args.loads.split(",") if tok)
+        if args.loads
+        else None
+    )
+    spec = quick_spec(loads, seed=args.seed)
+    print(
+        f"write-path comparison: seed={spec.seed} "
+        f"window={spec.duration_ns / 1e6:g} ms "
+        f"loads={','.join(f'{ld:g}' for ld in spec.loads_rps)} "
+        f"device={spec.device_pages}p/{spec.pages_per_block}ppb "
+        f"op={spec.op_ratio:g}"
+    )
+    doc = write_path_comparison(spec)
+    stamp(doc, WRITE_PATH_SCHEMA)
+    for curve in ("gc_on", "gc_off"):
+        print(f"  [{curve}] knee ~{doc[curve]['knee_rps']:,.0f} rps")
+        for point in doc[curve]["points"]:
+            wp = point["write_path"]
+            read_cls = point["classes"]["point"]
+            print(
+                f"    {point['target_rps']:>9,.0f} rps | "
+                f"goodput {point['goodput_rps']:>9,.0f} | "
+                f"read p99 {read_cls['p99_ns'] / 1e6:7.3f} ms | "
+                f"waf {wp['mean_waf']:5.3f} | "
+                f"gc busy {wp['gc_busy_ns'] / 1e6:6.2f} ms | "
+                f"wb {wp['writebacks_acked']}/{wp['writebacks']}"
+                f" lost {wp['writebacks_lost']}"
+            )
+    summary = doc["summary"]
+    print(
+        f"  summary: waf {summary['mean_waf']:.3f} | "
+        f"read p99 inflation x{summary['read_p99_inflation']:.1f} | "
+        f"knee {summary['knee_rps_gc_on']:,.0f} (gc on) vs "
+        f"{summary['knee_rps_gc_off']:,.0f} (gc off) rps"
+    )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+    if summary["writebacks_lost"]:
+        print(
+            f"FAIL: {summary['writebacks_lost']} eviction write-back(s) "
+            "lost without a fault plan",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _parse_args(argv)
     if args.command == "placement-smoke":
         return _cmd_placement_smoke(args)
+    if args.command == "write-path":
+        return _cmd_write_path(args)
     return _cmd_sweep(args)
 
 

@@ -85,6 +85,13 @@ class ServeBackend:
         """Backend-imposed ceiling on requests per batch (0 = none)."""
         return 0
 
+    @property
+    def supports_writes(self) -> bool:
+        """Whether this backend can serve ``op="write"``/``"modify"``
+        request classes (the AGILE write path; BaM and naive are read-only
+        baselines here)."""
+        return False
+
     def start(self) -> None:
         pass
 
@@ -118,6 +125,38 @@ class ServeBackend:
         for entry in stats:
             counts[int(entry["index"])] = int(entry["completed_reads"])
         return counts
+
+    def device_write_stats(self) -> List[Dict[str, float]]:
+        """Per-device write-path counters (joined on ``index``): the FTL's
+        WAF ledger plus completed write count, for the serve report's
+        write-amplification and GC-stall columns."""
+        stats = self._host().driver.device_stats()
+        rows: List[Dict[str, float]] = [{} for _ in stats]
+        keys = (
+            "completed_writes", "host_programs", "gc_programs", "erases",
+            "invalidations", "waf", "gc_runs", "gc_busy_ns",
+            "host_gc_stall_ns", "host_gc_stalls", "free_blocks",
+            "bad_blocks",
+        )
+        for entry in stats:
+            rows[int(entry["index"])] = {
+                k: float(entry[k]) for k in keys if k in entry
+            }
+        return rows
+
+    def _caches(self) -> List[Any]:
+        """Software caches whose eviction write-backs this backend owns."""
+        return []
+
+    def writeback_stats(self) -> Dict[str, int]:
+        """Eviction write-back ledger summed over the backend's caches:
+        snapshots taken, durably acked, and declared lost (terminal write
+        failure after recovery retries)."""
+        totals = {"writebacks": 0, "writebacks_acked": 0, "writebacks_lost": 0}
+        for cache in self._caches():
+            for key in totals:
+                totals[key] += int(cache.stats.get(key))
+        return totals
 
     def load_pattern(self, classes: Sequence, page_size: int = 4096) -> None:
         """Stage a recognisable pattern under each class's logical region,
@@ -196,6 +235,15 @@ class AgileServeBackend(ServeBackend):
     def num_workers(self) -> int:
         return self.num_gpus
 
+    @property
+    def supports_writes(self) -> bool:
+        return True
+
+    def _caches(self) -> List[Any]:
+        if self.host is not None:
+            return [self.host.cache]
+        return [node.cache for node in self._multi.nodes]
+
     def start(self) -> None:
         (self.host or self._multi).start()
 
@@ -228,24 +276,45 @@ class AgileServeBackend(ServeBackend):
             req: Request = requests[tid]
             chain = AgileLockChain(f"serve.b{batch.bid}.t{tid}")
             dest = scratch[tid]
+            op = req.cls.op
             ok = True
             try:
+                if op == "modify":
+                    # Read-modify-write through the software cache: each
+                    # page becomes a MODIFIED line whose device program is
+                    # deferred to eviction write-back.
+                    for lba in req.logical:
+                        yield from ctrl.write_page_logical(
+                            tc, chain, lba, dest, tenant=req.cls.name
+                        )
+                    finish(req, ok)
+                    return
                 txns = []
                 if req.logical:
                     # Logical issue path: the controller re-resolves each
                     # LBA through the same (memoised) placement policy the
                     # engine used at arrival, so coordinates agree.
                     for lba in req.logical:
-                        txn = yield from ctrl.raw_read_logical(
-                            tc, chain, lba, dest, tenant=req.cls.name
-                        )
+                        if op == "write":
+                            txn = yield from ctrl.raw_write_logical(
+                                tc, chain, lba, dest, tenant=req.cls.name
+                            )
+                        else:
+                            txn = yield from ctrl.raw_read_logical(
+                                tc, chain, lba, dest, tenant=req.cls.name
+                            )
                         txns.append(txn)
                 else:
                     # Trace replay hands us physical coordinates directly.
                     for ssd, lba in req.pages:
-                        txn = yield from ctrl.raw_read(
-                            tc, chain, ssd, lba, dest
-                        )
+                        if op == "write":
+                            txn = yield from ctrl.raw_write(
+                                tc, chain, ssd, lba, dest
+                            )
+                        else:
+                            txn = yield from ctrl.raw_read(
+                                tc, chain, ssd, lba, dest
+                            )
                         txns.append(txn)
                 for txn in txns:
                     completion = yield from txn.wait()

@@ -75,6 +75,12 @@ class ServeEngine:
         missing = [c.name for c in classes if c.name not in arrivals]
         if missing:
             raise ValueError(f"no arrival process for class(es): {missing}")
+        writers = [c.name for c in classes if c.op != "read"]
+        if writers and not backend.supports_writes:
+            raise ValueError(
+                f"backend {backend.system!r} is read-only; write/modify "
+                f"class(es) not servable: {writers}"
+            )
         self.backend = backend
         self.classes = list(classes)
         self.arrivals = dict(arrivals)
@@ -267,8 +273,11 @@ class ServeEngine:
 
         main_proc = self.sim.spawn(main(), name="serve.main")
         self.sim.run(until_procs=[main_proc])
-        backend.stop()
+        # Drain before stopping the service: eviction write-backs are
+        # fire-and-forget transactions the terminal accounting does not
+        # wait on, and draining needs the service SM alive to retire them.
         backend.drain()
+        backend.stop()
 
         leftovers = [r for r in self.requests if not r.terminal]
         if leftovers:
@@ -285,6 +294,8 @@ class ServeEngine:
         }
         offered = sum(c.offered for c in class_reports.values())
         size_hist = self.batcher.size_hist
+        write_stats = self.backend.device_write_stats()
+        wb = self.backend.writeback_stats()
         return ServeReport(
             system=self.backend.system,
             duration_ns=duration,
@@ -297,4 +308,17 @@ class ServeEngine:
             num_ssds=len(self.backend.cfg.ssds),
             device_pages=tuple(self.device_pages),
             device_reads=tuple(self.backend.device_read_counts()),
+            device_writes=tuple(
+                int(s.get("completed_writes", 0)) for s in write_stats
+            ),
+            device_waf=tuple(s.get("waf", 1.0) for s in write_stats),
+            device_gc_busy_ns=tuple(
+                s.get("gc_busy_ns", 0.0) for s in write_stats
+            ),
+            device_gc_stall_ns=tuple(
+                s.get("host_gc_stall_ns", 0.0) for s in write_stats
+            ),
+            writebacks=wb["writebacks"],
+            writebacks_acked=wb["writebacks_acked"],
+            writebacks_lost=wb["writebacks_lost"],
         )

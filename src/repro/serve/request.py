@@ -93,8 +93,18 @@ class RequestClass:
     #: the identical rng stream the pre-skew engine consumed.
     skew: float = 0.0
     hot_fraction: float = 0.125
+    #: What one request does with its pages: ``"read"`` (the default),
+    #: ``"write"`` (cache-bypassing streaming stores — checkpoint shards),
+    #: or ``"modify"`` (read-modify-write through the cache, creating
+    #: MODIFIED lines whose durability rides on eviction write-back).
+    op: str = "read"
 
     def __post_init__(self) -> None:
+        if self.op not in ("read", "write", "modify"):
+            raise ValueError(
+                f"class {self.name!r}: op must be 'read', 'write', or "
+                f"'modify', got {self.op!r}"
+            )
         if self.pages < 1:
             raise ValueError(f"class {self.name!r}: pages must be >= 1")
         if self.weight <= 0:

@@ -97,6 +97,16 @@ class ServeReport:
     device_pages: Tuple[int, ...] = ()
     #: Completed reads per device index (the driver's counters).
     device_reads: Tuple[int, ...] = ()
+    #: Write-path accounting per device index (FTL ledger at run end):
+    #: empty tuples mean a read-only run on a pre-write-path report.
+    device_writes: Tuple[int, ...] = ()
+    device_waf: Tuple[float, ...] = ()
+    device_gc_busy_ns: Tuple[float, ...] = ()
+    device_gc_stall_ns: Tuple[float, ...] = ()
+    #: Cache eviction write-backs: snapshots taken / durably acked / lost.
+    writebacks: int = 0
+    writebacks_acked: int = 0
+    writebacks_lost: int = 0
 
     @property
     def offered(self) -> int:
@@ -137,6 +147,23 @@ class ServeReport:
             return 1.0
         return max(counts) * len(counts) / total
 
+    @property
+    def mean_waf(self) -> float:
+        """Mean write amplification across devices that saw host programs
+        (1.0 for a read-only run — the inert-FTL baseline)."""
+        active = [w for w, n in zip(self.device_waf, self.device_writes) if n]
+        if not active:
+            return 1.0
+        return sum(active) / len(active)
+
+    @property
+    def gc_busy_ns(self) -> float:
+        return sum(self.device_gc_busy_ns)
+
+    @property
+    def gc_stall_ns(self) -> float:
+        return sum(self.device_gc_stall_ns)
+
     def as_dict(self) -> Dict[str, object]:
         return {
             "system": self.system,
@@ -157,6 +184,16 @@ class ServeReport:
                 "device_pages": list(self.device_pages),
                 "device_reads": list(self.device_reads),
                 "skew_ratio": self.skew_ratio,
+            },
+            "write_path": {
+                "device_writes": list(self.device_writes),
+                "device_waf": list(self.device_waf),
+                "mean_waf": self.mean_waf,
+                "gc_busy_ns": self.gc_busy_ns,
+                "gc_stall_ns": self.gc_stall_ns,
+                "writebacks": self.writebacks,
+                "writebacks_acked": self.writebacks_acked,
+                "writebacks_lost": self.writebacks_lost,
             },
             "classes": {
                 name: rep.as_dict() for name, rep in sorted(self.classes.items())

@@ -77,10 +77,12 @@ class ServePoint:
     report: ServeReport
 
     def as_dict(self) -> Dict[str, object]:
+        # The point's label wins over the report's: write-path points
+        # relabel the same backend ("agile" vs "agile-gc-off").
         return {
+            **self.report.as_dict(),
             "system": self.system,
             "target_rps": self.offered_rps,
-            **self.report.as_dict(),
         }
 
 

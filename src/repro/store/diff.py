@@ -30,7 +30,8 @@ from repro.store.db import ResultStore, RunRecord
 _LOWER_IS_BETTER = (
     "p50_ns", "p95_ns", "p99_ns", "mean_latency_ns", "latency_ns",
     "skew_ratio", "shed", "aborted", "queue_timeout", "slo_miss",
-    "device_errors",
+    "device_errors", "waf", "gc_busy_ns", "gc_stall_ns",
+    "writebacks_lost", "bad_blocks", "read_p99_inflation",
 )
 _HIGHER_IS_BETTER = (
     "goodput_rps", "bandwidth_gbps", "knee_rps", "slo_ok",
@@ -40,7 +41,9 @@ _INFORMATIONAL = (
     "events_per_sec", "wall_s", "sim_events", "batches", "offered",
     "admitted", "duration_ns", "target_rps", "offered_rps", "num_ssds",
     "device_pages", "device_reads", "mean_batch_size", "seed",
-    "generated_unix",
+    "generated_unix", "gc_runs", "erases", "invalidations", "gc_reads",
+    "seeded_pages", "free_blocks", "live_pages", "host_programs",
+    "gc_programs", "writebacks_acked", "host_gc_stalls",
 )
 
 

@@ -11,9 +11,12 @@ Supported schemas:
 
 - ``agile-bench-trend/2`` and the legacy ``/1`` (no ``git_sha`` /
   ``config_hash`` fields; a fingerprint is derived instead),
-- ``agile-serve-sweep/2``,
+- ``agile-serve-sweep/3`` and the legacy ``/2`` (no per-point
+  ``write_path`` section; the adapter is shared — flattening simply
+  yields fewer metrics for old documents),
 - ``agile-placement-smoke/1`` and the tag-less legacy placement document
   (detected by shape),
+- ``agile-write-path/1`` (GC-on vs GC-off write-heavy serving),
 - ``agile-explore/1`` (the store's own parameter-grid sweeps).
 
 Unknown schemas raise :class:`UnknownSchemaError` rather than guessing.
@@ -236,6 +239,23 @@ def _placement_smoke_points(doc: Mapping[str, object]) -> List[Point]:
     return _placement_policy_points({}, policies)
 
 
+def _write_path_points(doc: Mapping[str, object]) -> List[Point]:
+    """GC-on/GC-off comparison: the two curves flatten exactly like serve
+    curves (the toggle plays the ``system`` axis role), and the summary
+    scalars — ``mean_waf``, ``read_p99_inflation``, stall time — land
+    under a ``section=summary`` axis for the gate to watch."""
+    curves = {
+        key: doc[key]
+        for key in ("gc_on", "gc_off")
+        if isinstance(doc.get(key), Mapping)
+    }
+    out = _serve_curves_points({}, curves)
+    summary = doc.get("summary")
+    if isinstance(summary, Mapping):
+        out.extend(_points({"section": "summary"}, summary))
+    return out
+
+
 def _explore_points(doc: Mapping[str, object]) -> List[Point]:
     out: List[Point] = []
     for cell in doc.get("cells", ()):
@@ -252,7 +272,9 @@ _ADAPTERS = {
     "agile-bench-trend/1": _bench_trend_points,
     "agile-bench-trend/2": _bench_trend_points,
     "agile-serve-sweep/2": _serve_sweep_points,
+    "agile-serve-sweep/3": _serve_sweep_points,
     "agile-placement-smoke/1": _placement_smoke_points,
+    "agile-write-path/1": _write_path_points,
     "agile-explore/1": _explore_points,
 }
 

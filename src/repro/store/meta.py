@@ -21,12 +21,15 @@ import time
 from typing import Dict, MutableMapping, Optional
 
 #: Current schema tags, one per artifact family.  ``agile-bench-trend``
-#: is at /2 (adds git_sha + config_hash); the ingest adapters keep a
-#: compat reader for /1 documents.
+#: is at /2 (adds git_sha + config_hash) and ``agile-serve-sweep`` at /3
+#: (adds the per-point ``write_path`` section: WAF, GC busy/stall time,
+#: eviction write-back ledger); the ingest adapters keep compat readers
+#: for the older versions.
 BENCH_TREND_SCHEMA = "agile-bench-trend/2"
-SERVE_SWEEP_SCHEMA = "agile-serve-sweep/2"
+SERVE_SWEEP_SCHEMA = "agile-serve-sweep/3"
 PLACEMENT_SMOKE_SCHEMA = "agile-placement-smoke/1"
 EXPLORE_SCHEMA = "agile-explore/1"
+WRITE_PATH_SCHEMA = "agile-write-path/1"
 
 
 def now_unix() -> float:

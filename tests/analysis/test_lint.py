@@ -309,6 +309,57 @@ class TestDeviceIndexArith:
         assert run_lint(tmp_path, src) == []
 
 
+class TestPageStoreMutation:
+    def test_subscript_assignment_fires(self, tmp_path):
+        src = (
+            "class Flash:\n"
+            "    def poke(self, pp, data):\n"
+            "        self._pages[pp] = data\n"
+        )
+        v = run_lint(tmp_path, src)
+        assert codes(v) == ["AGL014"]
+        assert "program/invalidate/erase" in v[0].message
+
+    def test_delete_fires(self, tmp_path):
+        src = "def wipe(self, pp):\n    del self._pages[pp]\n"
+        assert codes(run_lint(tmp_path, src)) == ["AGL014"]
+
+    def test_rebinding_the_store_fires(self, tmp_path):
+        src = (
+            "class Flash:\n"
+            "    def reset(self):\n"
+            "        self._pages = {}\n"
+        )
+        assert codes(run_lint(tmp_path, src)) == ["AGL014"]
+
+    def test_mutator_call_fires(self, tmp_path):
+        src = "def drop(self, pp):\n    self._pages.pop(pp, None)\n"
+        v = run_lint(tmp_path, src)
+        assert codes(v) == ["AGL014"]
+        assert ".pop()" in v[0].message
+
+    def test_ftl_module_is_exempt(self, tmp_path):
+        nvme = tmp_path / "nvme"
+        nvme.mkdir()
+        f = nvme / "ftl.py"
+        f.write_text(
+            "def program(self, pp, data):\n    self._pages[pp] = data\n"
+        )
+        assert lint_paths([str(f)]) == []
+
+    def test_reads_and_nonmutators_are_fine(self, tmp_path):
+        src = (
+            "def peek(self, pp):\n"
+            "    data = self._pages.get(pp)\n"
+            "    return self._pages[pp] if data is None else data\n"
+        )
+        assert run_lint(tmp_path, src) == []
+
+    def test_unrelated_names_are_fine(self, tmp_path):
+        src = "def f(self, k, v):\n    self._pages_meta[k] = v\n"
+        assert run_lint(tmp_path, src) == []
+
+
 class TestCli:
     def test_main_exit_codes(self, tmp_path, capsys):
         dirty = tmp_path / "dirty.py"

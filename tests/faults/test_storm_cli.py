@@ -28,6 +28,30 @@ def test_storm_smoke_with_checks(capsys):
     assert "invariant events checked:" in out
 
 
+def test_pe_storm_smoke(capsys):
+    rc = main(
+        ["pe-storm", "--seed", "1", "--threads", "8", "--requests", "4"]
+    )
+    out = capsys.readouterr().out
+    assert rc == 0, out
+    assert "replay: python -m repro.faults pe-storm --seed 1" in out
+    assert "program/erase storm plan" in out
+    assert "write-back ledger:" in out
+    assert "pe-storm passed: ledger balanced, no dirty data lost" in out
+
+
+def test_pe_storm_smoke_with_checks(capsys):
+    rc = main(
+        [
+            "pe-storm", "--seed", "2", "--threads", "8", "--requests", "4",
+            "--agile-checks",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert rc == 0, out
+    assert "invariant events checked:" in out
+
+
 def test_usage_without_subcommand(capsys):
     assert main([]) == 2
     assert "usage" in capsys.readouterr().out

@@ -1,0 +1,210 @@
+"""Tests for the page-mapped FTL: translation, out-of-place programs,
+garbage collection, write amplification, and the accounting ledger."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import FaultConfig, SsdConfig
+from repro.faults import FaultInjector
+from repro.nvme.flash import FlashArray
+from repro.sim import Simulator
+from repro.sim.rng import RngStreams
+
+PAGE = 4096
+
+
+def small_cfg(**overrides) -> SsdConfig:
+    """64 logical pages in 4-page blocks; 25% OP -> 20 physical blocks."""
+    base = dict(
+        capacity_bytes=64 * PAGE,
+        page_size=PAGE,
+        channels=4,
+        read_latency_ns=1_000.0,
+        write_latency_ns=3_000.0,
+        erase_latency_ns=20_000.0,
+        pages_per_block=4,
+        op_ratio=0.25,
+        gc_low_water_blocks=2,
+        gc_high_water_blocks=4,
+    )
+    base.update(overrides)
+    return SsdConfig(**base)
+
+
+@pytest.fixture
+def flash(sim):
+    return FlashArray(sim, small_cfg())
+
+
+def run_programs(sim, flash, lbas, results=None):
+    """Drive ``program_service`` for each LBA from one sim process."""
+
+    def proc():
+        for lba in lbas:
+            ok = yield from flash.program_service(lba)
+            if results is not None:
+                results.append(ok)
+
+    sim.spawn(proc())
+    sim.run()
+
+
+class TestInertness:
+    """With no writes the FTL must be provably invisible (golden traces)."""
+
+    def test_identity_mapping_without_writes(self, flash):
+        for lba in (0, 7, 63):
+            assert flash.ftl.phys(lba) == lba
+
+    def test_construction_spawns_no_processes(self, sim):
+        FlashArray(sim, small_cfg())
+        sim.run()
+        assert sim.now == 0.0
+
+    def test_read_only_stats_are_zero(self, flash):
+        s = flash.ftl.stats()
+        assert s["host_programs"] == 0
+        assert s["erases"] == 0
+        assert s["gc_runs"] == 0
+        assert s["waf"] == 1.0
+
+    def test_preload_keeps_identity_placement(self, flash):
+        page = np.full(PAGE, 7, dtype=np.uint8)
+        flash.write_page_data(13, page)
+        assert flash.ftl.phys(13) == 13
+        assert flash.ftl.seeded_pages == 1
+        assert np.array_equal(flash.read_page_data(13), page)
+        flash.ftl.check_conservation()
+
+
+class TestZeroPage:
+    def test_shared_readonly_zero_page(self, flash):
+        a = flash.read_page_data(3)
+        b = flash.read_page_data(44)
+        assert a is b
+        assert not a.flags.writeable
+        assert a.sum() == 0
+        with pytest.raises(ValueError):
+            a[0] = 1
+
+    def test_written_page_is_not_the_zero_page(self, flash):
+        flash.write_page_data(3, np.zeros(PAGE, dtype=np.uint8))
+        assert flash.read_page_data(3) is not flash.read_page_data(4)
+
+
+class TestOutOfPlace:
+    def test_rewrite_moves_and_invalidates(self, sim, flash):
+        run_programs(sim, flash, [5, 5])
+        ftl = flash.ftl
+        assert ftl.host_programs == 2
+        assert ftl.invalidations == 1
+        assert ftl.live_pages == 1
+        assert ftl.phys(5) != 5  # out-of-place: allocator placement
+        ftl.check_conservation()
+
+    def test_data_survives_relocation(self, sim, flash):
+        page = np.arange(PAGE, dtype=np.uint8) % 251
+
+        def proc():
+            yield from flash.program_service(9, page)
+            yield from flash.program_service(9, None)  # timing-only rewrite
+
+        sim.spawn(proc())
+        sim.run()
+        assert np.array_equal(flash.read_page_data(9), page)
+
+    def test_gc_disabled_stays_in_place(self, sim):
+        flash = FlashArray(sim, small_cfg(gc_enabled=False))
+        run_programs(sim, flash, [5, 5, 5])
+        ftl = flash.ftl
+        assert ftl.phys(5) == 5
+        assert ftl.erases == 0
+        assert ftl.gc_runs == 0
+        assert ftl.waf == 1.0
+        ftl.check_conservation()
+
+
+class TestGarbageCollection:
+    @pytest.mark.parametrize("policy", ["greedy", "cost_benefit"])
+    def test_sustained_random_writes_amplify(self, sim, policy):
+        flash = FlashArray(sim, small_cfg(gc_policy=policy))
+        rng = np.random.default_rng(42)
+        lbas = rng.integers(0, 32, size=400).tolist()
+        results = []
+        run_programs(sim, flash, lbas, results)
+        ftl = flash.ftl
+        assert all(results), "no program may fail without fault injection"
+        assert ftl.gc_runs > 0
+        assert ftl.erases > 0
+        assert ftl.gc_programs > 0
+        assert ftl.waf > 1.0
+        assert ftl.gc_busy_ns > 0.0
+        # Free-block conservation: ledger balances after heavy churn.
+        ftl.check_conservation()
+        assert ftl.live_pages == len(set(lbas))
+        assert ftl.free_blocks >= 0
+
+    def test_gc_steals_channel_time(self, sim):
+        """The same write stream takes longer with GC on than off."""
+        flash_on = FlashArray(sim, small_cfg())
+        run_programs(sim, flash_on, [i % 16 for i in range(300)])
+        t_on = sim.now
+
+        sim2 = Simulator()
+        flash_off = FlashArray(sim2, small_cfg(gc_enabled=False))
+        run_programs(sim2, flash_off, [i % 16 for i in range(300)])
+        assert t_on > sim2.now
+
+    def test_full_device_surfaces_write_fault(self, sim):
+        """Every LBA live and OP exhausted: programs fault, never hang."""
+        flash = FlashArray(sim, small_cfg(op_ratio=0.0))
+        results = []
+        # 64 distinct LBAs fill every block; further writes must still
+        # terminate (GC has nothing reclaimable once all pages are live).
+        run_programs(sim, flash, list(range(64)) + [0, 1], results)
+        assert not all(results)
+        assert flash.write_errors > 0
+        flash.ftl.check_conservation()
+
+
+class TestFaults:
+    def _armed(self, sim, cfg, fault_cfg):
+        flash = FlashArray(sim, cfg)
+        flash.injector = FaultInjector(
+            sim, fault_cfg, RngStreams(7)
+        )
+        return flash
+
+    def test_erase_fault_retires_block(self, sim):
+        flash = self._armed(
+            sim, small_cfg(), FaultConfig(flash_erase_error_rate=1.0)
+        )
+        rng = np.random.default_rng(3)
+        run_programs(sim, flash, rng.integers(0, 16, size=120).tolist())
+        ftl = flash.ftl
+        assert ftl.bad_blocks > 0
+        assert ftl.erases == 0  # every erase failed
+        ftl.check_conservation()
+
+    def test_program_fault_burns_page_not_ledger(self, sim):
+        flash = self._armed(
+            sim, small_cfg(), FaultConfig(flash_program_fail_first=3)
+        )
+        results = []
+        run_programs(sim, flash, [1, 2, 3, 4, 5], results)
+        assert results == [False, False, False, True, True]
+        flash.ftl.check_conservation()
+
+
+class TestStatsSurface:
+    def test_stats_keys(self, flash):
+        s = flash.ftl.stats()
+        for key in (
+            "host_programs", "gc_programs", "gc_reads", "erases",
+            "invalidations", "live_pages", "seeded_pages", "free_blocks",
+            "bad_blocks", "waf", "gc_runs", "gc_busy_ns",
+            "host_gc_stall_ns", "host_gc_stalls",
+        ):
+            assert key in s

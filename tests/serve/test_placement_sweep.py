@@ -112,7 +112,7 @@ class TestGrid:
 
 
 class TestCli:
-    def test_sweep_writes_schema_2_json(self, tmp_path, capsys):
+    def test_sweep_writes_schema_3_json(self, tmp_path, capsys):
         out = tmp_path / "sweep.json"
         rc = main([
             "sweep", "--loads", "50000", "--duration-ms", "1",
@@ -121,7 +121,7 @@ class TestCli:
         ])
         assert rc == 0
         doc = json.loads(out.read_text())
-        assert doc["schema"] == "agile-serve-sweep/2"
+        assert doc["schema"] == "agile-serve-sweep/3"
         assert doc["ssd_counts"] == [1, 2]
         assert doc["placements"] == ["striped"]
         assert set(doc["grid"]) == {

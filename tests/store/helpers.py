@@ -54,6 +54,25 @@ def serve_point(goodput: float, p99: float, target: float) -> Dict:
     }
 
 
+def write_path_point(
+    goodput: float, p99: float, target: float, system: str = "agile",
+    waf: float = 1.2,
+) -> Dict:
+    pt = serve_point(goodput, p99, target)
+    pt["system"] = system
+    pt["write_path"] = {
+        "device_writes": [30, 31],
+        "device_waf": [waf, waf],
+        "mean_waf": waf,
+        "gc_busy_ns": 800_000.0,
+        "gc_stall_ns": 120_000.0,
+        "writebacks": 40,
+        "writebacks_acked": 40,
+        "writebacks_lost": 0,
+    }
+    return pt
+
+
 def serve_sweep_doc(goodput: float = 20_000.0) -> Dict:
     """An ``agile-serve-sweep/2`` miniature (one cell, one system)."""
     return {
@@ -76,6 +95,55 @@ def serve_sweep_doc(goodput: float = 20_000.0) -> Dict:
                     ],
                 },
             },
+        },
+    }
+
+
+def serve_sweep3_doc(goodput: float = 20_000.0) -> Dict:
+    """An ``agile-serve-sweep/3`` miniature: the /2 shape plus the
+    per-point ``write_path`` section the schema bump introduced."""
+    doc = serve_sweep_doc(goodput)
+    doc["schema"] = "agile-serve-sweep/3"
+    cell = doc["grid"]["ssds=2,placement=striped"]["agile"]
+    cell["points"] = [
+        write_path_point(goodput, p99=300_000.0, target=20_000.0)
+    ]
+    return doc
+
+
+def write_path_doc(waf: float = 1.3, inflation: float = 4.0) -> Dict:
+    """An ``agile-write-path/1`` miniature (GC on/off, one load each)."""
+    return {
+        "schema": "agile-write-path/1",
+        "git_sha": "c0ffee" * 6 + "c0ff",
+        "config_hash": "deadc0dedeadc0de",
+        "seed": 7,
+        "num_ssds": 2,
+        "loads_rps": [10_000.0],
+        "gc_on": {
+            "knee_rps": 10_000.0,
+            "points": [
+                write_path_point(
+                    9_500.0, p99=1_200_000.0, target=10_000.0, waf=waf
+                )
+            ],
+        },
+        "gc_off": {
+            "knee_rps": 30_000.0,
+            "points": [
+                write_path_point(
+                    9_900.0, p99=300_000.0, target=10_000.0,
+                    system="agile-gc-off", waf=1.0,
+                )
+            ],
+        },
+        "summary": {
+            "mean_waf": waf,
+            "gc_stall_ns": 2_000_000.0,
+            "read_p99_inflation": inflation,
+            "knee_rps_gc_on": 10_000.0,
+            "knee_rps_gc_off": 30_000.0,
+            "writebacks_lost": 0,
         },
     }
 

@@ -18,6 +18,7 @@ from tests.store.helpers import (
     bench_trend_doc,
     scale_metric,
     serve_sweep_doc,
+    write_path_doc,
 )
 
 
@@ -42,6 +43,14 @@ class TestDirections:
         assert metric_direction("placement.skew_ratio") == -1
         assert metric_direction("shed") == -1
         assert metric_direction("device_errors") == -1
+        # Write-path health: amplification, stalls, and losses are all
+        # lower-is-better; ack counts are volume, not quality.
+        assert metric_direction("mean_waf") == -1
+        assert metric_direction("write_path.mean_waf") == -1
+        assert metric_direction("gc_stall_ns") == -1
+        assert metric_direction("read_p99_inflation") == -1
+        assert metric_direction("writebacks_lost") == -1
+        assert metric_direction("writebacks_acked") == 0
         # Wall-clock and volume metrics never gate.
         assert metric_direction("events_per_sec") == 0
         assert metric_direction("wall_s") == 0
@@ -130,6 +139,20 @@ class TestDiff:
                 store, rec_a.run_id, rec_b.run_id, tolerance=0.05
             )
         assert result.ok
+
+    def test_waf_increase_is_a_regression(self, store_path):
+        good = write_path_doc()
+        bad = scale_metric(good, "mean_waf", 1.25)
+        with ResultStore(store_path) as store:
+            rec_a, pts_a = ingest_document(good)
+            store.put_run(rec_a, pts_a)
+            rec_b, pts_b = ingest_document(bad)
+            store.put_run(rec_b, pts_b)
+            result = diff_runs(
+                store, rec_a.run_id, rec_b.run_id, tolerance=0.05
+            )
+        assert not result.ok
+        assert any("mean_waf" in d.metric for d in result.regressions)
 
     def test_prefix_resolution(self, store_path):
         with ResultStore(store_path) as store:

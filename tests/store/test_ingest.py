@@ -13,12 +13,16 @@ from repro.store import (
 from tests.store.helpers import (
     bench_trend_doc,
     placement_smoke_doc,
+    serve_sweep3_doc,
     serve_sweep_doc,
+    write_path_doc,
 )
 
 ALL_DOCS = {
     "serve-sweep": serve_sweep_doc(),
+    "serve-sweep-3": serve_sweep3_doc(),
     "placement-smoke": placement_smoke_doc(),
+    "write-path": write_path_doc(),
     "bench-trend-2": bench_trend_doc(),
     "bench-trend-1-legacy": bench_trend_doc("agile-bench-trend/1"),
 }
@@ -52,7 +56,9 @@ class TestRoundTrip:
 class TestSchemaDetection:
     def test_explicit_tags_win(self):
         assert detect_schema(serve_sweep_doc()) == "agile-serve-sweep/2"
+        assert detect_schema(serve_sweep3_doc()) == "agile-serve-sweep/3"
         assert detect_schema(placement_smoke_doc()) == "agile-placement-smoke/1"
+        assert detect_schema(write_path_doc()) == "agile-write-path/1"
         assert detect_schema(bench_trend_doc()) == "agile-bench-trend/2"
 
     def test_legacy_untagged_documents_detect_by_shape(self):
@@ -141,6 +147,32 @@ class TestProjection:
             if p.metric == "skew_ratio"
         }
         assert skews == {"shard": 1.9, "striped": 1.1}
+
+    def test_sweep3_points_flatten_the_write_path_section(self):
+        _, points = ingest_document(serve_sweep3_doc())
+        waf = [p for p in points if p.metric == "write_path.mean_waf"]
+        assert len(waf) == 1
+        assert waf[0].value == 1.2
+        assert waf[0].axes["system"] == "agile"
+        assert any(
+            p.metric == "write_path.device_waf.1" for p in points
+        )
+
+    def test_write_path_curves_and_summary_project(self):
+        _, points = ingest_document(write_path_doc())
+        # The GC toggle plays the system-axis role for the two curves.
+        knees = {
+            p.axes["system"]: p.value for p in points if p.metric == "knee_rps"
+        }
+        assert knees == {"gc_on": 10_000.0, "gc_off": 30_000.0}
+        summary = {
+            p.metric: p.value
+            for p in points
+            if p.axes.get("section") == "summary"
+        }
+        assert summary["mean_waf"] == 1.3
+        assert summary["read_p99_inflation"] == 4.0
+        assert summary["writebacks_lost"] == 0
 
     def test_metadata_lands_on_the_run_row(self):
         record, _ = ingest_document(

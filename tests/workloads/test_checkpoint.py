@@ -1,0 +1,112 @@
+"""The DLRM-checkpoint write stream: deterministic shards, paced trace."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import NS_PER_S
+from repro.workloads.checkpoint import (
+    CheckpointSpec,
+    checkpoint_shards,
+    checkpoint_trace,
+)
+
+
+class TestSpecValidation:
+    def test_shard_larger_than_table_rejected(self):
+        with pytest.raises(ValueError):
+            CheckpointSpec(table_pages=4, shard_pages=8)
+
+    @pytest.mark.parametrize("frac", [0.0, -0.1, 1.5])
+    def test_hot_fraction_bounds(self, frac):
+        with pytest.raises(ValueError):
+            CheckpointSpec(hot_fraction=frac)
+
+    def test_zero_passes_rejected(self):
+        with pytest.raises(ValueError):
+            CheckpointSpec(passes=0)
+
+    def test_hot_pages_never_below_one(self):
+        spec = CheckpointSpec(table_pages=4, shard_pages=2, hot_fraction=0.01)
+        assert spec.hot_pages == 1
+
+
+class TestShardSchedule:
+    SPEC = CheckpointSpec(
+        table_pages=32, shard_pages=4, hot_fraction=0.25,
+        hot_rewrite_period=2, passes=2,
+    )
+
+    def test_schedule_is_a_pure_function_of_the_spec(self):
+        assert checkpoint_shards(self.SPEC) == checkpoint_shards(self.SPEC)
+
+    def test_every_pass_sweeps_the_whole_table(self):
+        shards = checkpoint_shards(CheckpointSpec(
+            table_pages=10, shard_pages=4, hot_rewrite_period=0, passes=1,
+        ))
+        covered = sorted(lba for shard in shards for lba in shard)
+        assert covered == list(range(10))
+        # The tail shard is clipped to the table, not padded past it.
+        assert shards[-1] == (8, 9)
+
+    def test_hot_rewrites_stay_inside_the_hot_head(self):
+        # period=2 interleaves one rewrite after every second sweep shard,
+        # so the schedule repeats [sweep, sweep, rewrite] — the rewrites
+        # sit at indices i % 3 == 2 and never leave the hot head.
+        shards = checkpoint_shards(self.SPEC)
+        hot = self.SPEC.hot_pages
+        rewrites = [s for i, s in enumerate(shards) if i % 3 == 2]
+        assert len(rewrites) == 8  # 4 per pass, 2 passes
+        for shard in rewrites:
+            assert all(0 <= lba < hot for lba in shard)
+
+    def test_rewrite_cursor_cycles_the_hot_head(self):
+        spec = CheckpointSpec(
+            table_pages=16, shard_pages=2, hot_fraction=0.25,
+            hot_rewrite_period=1, passes=1,
+        )
+        shards = checkpoint_shards(spec)
+        # period=1: [sweep, rewrite, sweep, rewrite, ...]
+        rewrites = shards[1::2]
+        assert rewrites == [(0, 1), (2, 3), (0, 1), (2, 3),
+                            (0, 1), (2, 3), (0, 1), (2, 3)]
+
+    def test_disabled_rewrites_yield_pure_sweep(self):
+        spec = CheckpointSpec(
+            table_pages=8, shard_pages=4, hot_rewrite_period=0, passes=3,
+        )
+        assert checkpoint_shards(spec) == [(0, 1, 2, 3), (4, 5, 6, 7)] * 3
+
+
+class TestTrace:
+    SPEC = CheckpointSpec(
+        table_pages=8, shard_pages=2, hot_rewrite_period=0, passes=1,
+    )
+
+    @staticmethod
+    def place(lba, tenant=None):
+        return (lba % 2, lba // 2)
+
+    def test_rate_must_be_positive(self):
+        with pytest.raises(ValueError):
+            checkpoint_trace(self.SPEC, 0.0, self.place)
+
+    def test_arrivals_are_evenly_paced(self):
+        trace = checkpoint_trace(self.SPEC, 1000.0, self.place)
+        assert set(trace.gaps_ns) == {NS_PER_S / 1000.0}
+        assert len(trace.gaps_ns) == len(checkpoint_shards(self.SPEC))
+
+    def test_pages_resolve_through_the_placement_callback(self):
+        trace = checkpoint_trace(
+            self.SPEC, 1000.0, self.place, lba_base=100
+        )
+        first = trace.pages[0]  # shard (0, 1) at base 100 -> lbas 100, 101
+        assert first == (self.place(100), self.place(101))
+
+    def test_coords_deduplicate_within_a_shard(self):
+        # A placement that folds both shard pages onto one physical page
+        # must record that coordinate once, not twice.
+        trace = checkpoint_trace(
+            self.SPEC, 1000.0, lambda lba, tenant=None: (0, 0)
+        )
+        assert all(pages == ((0, 0),) for pages in trace.pages)
