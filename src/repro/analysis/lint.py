@@ -53,6 +53,13 @@ know about; this one enforces the repository's:
   the L2P map, per-block valid counts, and the WAF/conservation ledger
   (``host_programs + gc_programs + seeded_pages - invalidations ==
   live_pages``) cannot drift from the stored bytes.
+- **AGL015** — tenant classes come from the registry
+  (``serve/registry.py``): no ``RequestClass(...)`` construction and no
+  string-literal label passed to ``tenant_class(...)`` anywhere else.
+  Ad-hoc classes and free-floating label strings drift from the
+  registry's canonical names, and the tenancy layer (WFQ shares, SLO
+  reports, store axes) joins on those names — a typo would silently
+  become a new tenant instead of an error.
 
 Exit status is 0 when clean, 1 when any violation is found.
 """
@@ -127,6 +134,12 @@ SSD_COUNT_NAMES = {"num_ssds", "n_ssds", "nssds", "ssd_count", "num_devices"}
 #: that mutate it in place.
 PAGE_STORE_NAME = "_pages"
 PAGE_STORE_MUTATORS = {"pop", "popitem", "update", "setdefault", "clear"}
+
+#: Tenant-class construction entry points (AGL015): ``RequestClass`` may
+#: only be constructed in the registry, and ``tenant_class`` must be
+#: called with a registry constant, never a string literal.
+TENANT_CLASS_CTOR = "RequestClass"
+TENANT_CLASS_FACTORY = "tenant_class"
 
 
 @dataclass(frozen=True)
@@ -229,6 +242,11 @@ class _FileLinter:
         #: The FTL owns the flash page store; everyone else reads pages
         #: through FlashArray/Ftl accessors and writes via programs.
         self.page_store_ok = path.name == "ftl.py" and "nvme" in parts
+        #: The tenant registry is the single place classes are minted and
+        #: labels are spelled out.
+        self.tenant_registry_ok = (
+            path.name == "registry.py" and "serve" in parts
+        )
 
     def add(self, node: ast.AST, code: str, message: str) -> None:
         self.violations.append(
@@ -289,6 +307,7 @@ class _FileLinter:
                 f"outside repro/nvme/ftl.py; page contents change only "
                 f"through the FTL's program/invalidate/erase paths",
             )
+        self._check_tenant_class(node)
         dotted = _dotted(node.func)
         if dotted is None:
             return
@@ -323,6 +342,31 @@ class _FileLinter:
                         "np.random.default_rng() without a seed is "
                         "non-reproducible",
                     )
+
+    def _check_tenant_class(self, node: ast.Call) -> None:
+        """AGL015: tenant classes are minted only in serve/registry.py,
+        and call sites name them with registry constants, not strings."""
+        if self.tenant_registry_ok:
+            return
+        func_name = self._bare_name(node.func)
+        if func_name == TENANT_CLASS_CTOR:
+            self.add(
+                node, "AGL015",
+                "RequestClass(...) constructed outside serve/registry.py; "
+                "mint tenant classes with tenant_class(<REGISTRY_CONSTANT>, "
+                "...) so names stay canonical",
+            )
+        elif func_name == TENANT_CLASS_FACTORY and node.args:
+            first = node.args[0]
+            if isinstance(first, ast.Constant) and isinstance(
+                first.value, str
+            ):
+                self.add(
+                    node, "AGL015",
+                    f"string-literal tenant label {first.value!r} passed to "
+                    f"tenant_class(); use the registry constant so typos "
+                    f"fail at import, not at join time",
+                )
 
     def _check_generator(self, fn: ast.AST) -> None:
         for node in _own_nodes(fn):

@@ -401,11 +401,33 @@ class AgileHost:
 
     # -- placement feeds (pull-based; no simulated time) ---------------------
 
+    #: Write-pressure weights for the load-aware feed: a device whose GC
+    #: is amplifying writes (WAF above 1) or running low on free blocks
+    #: is about to get slower than its queue depth alone suggests, so new
+    #: allocations should prefer its peers.  Scaled to matter against
+    #: typical in-flight counts (tens of commands).
+    WAF_LOAD_WEIGHT = 8.0
+    SCARCITY_LOAD_WEIGHT = 16.0
+
     def _device_loads(self) -> list[float]:
-        """In-flight commands per device — the load-aware policy's signal."""
+        """Per-device load signal for the load-aware policy: in-flight
+        commands plus FTL write pressure (WAF excess and free-block
+        scarcity).  The pressure term is gated on the device having seen
+        any program at all — untouched FTLs contribute exactly 0.0, so
+        read-only runs score identically to the pre-FTL feed and stay
+        bit-exact."""
         loads = [0.0] * len(self.ssds)
         for ssd_idx, _qid, _cid in self.issue.pending:
             loads[ssd_idx] += 1.0
+        for i, ssd in enumerate(self.ssds):
+            ftl = ssd.flash.ftl
+            if not (ftl.host_programs or ftl.gc_programs):
+                continue
+            scarcity = 1.0 - ftl.free_blocks / ftl.cfg.physical_blocks
+            loads[i] += (
+                self.WAF_LOAD_WEIGHT * (ftl.waf - 1.0)
+                + self.SCARCITY_LOAD_WEIGHT * scarcity
+            )
         return loads
 
     def _device_healthy(self) -> list[bool]:

@@ -1,9 +1,13 @@
 """repro.serve — online request serving on top of the AGILE/BaM hosts.
 
 Open-loop load generation (Poisson / MMPP / trace replay), bounded
-admission with explicit load shedding, dynamic batching into kernel
-launches, fair-share dispatch across one or more simulated GPUs, and
-per-class SLO accounting on the telemetry spine.
+admission with explicit load shedding — FIFO or weighted-fair with
+per-class shed guards (:mod:`repro.serve.wfq`) — dynamic batching into
+kernel launches, fair-share dispatch across one or more simulated GPUs,
+per-class SLO accounting on the telemetry spine, and the multi-tenant
+scenario matrix (:mod:`repro.serve.tenancy`).  Tenant classes come from
+the registry (:mod:`repro.serve.registry`): construct them with
+:func:`tenant_class`, never ad hoc.
 
 Entirely additive: nothing here runs unless a :class:`ServeEngine` is
 constructed, so closed-loop benchmarks and golden traces are untouched.
@@ -26,6 +30,7 @@ from repro.serve.backends import (
 from repro.serve.batcher import Batch, BatchPolicy, DynamicBatcher
 from repro.serve.dispatch import Dispatcher
 from repro.serve.engine import ServeConfig, ServeEngine
+from repro.serve.registry import KNOWN_TENANTS, tenant_class
 from repro.serve.request import (
     LEGAL_TRANSITIONS,
     Request,
@@ -43,6 +48,20 @@ from repro.serve.sweep import (
     run_saturation_sweep,
     run_serve_point,
 )
+from repro.serve.wfq import TenancyConfig, TenantShare, WeightedFairAdmission
+
+#: Lazy (PEP 562) re-exports: repro.serve.tenancy builds workload traces,
+#: so importing it eagerly here would cycle through the workload modules
+#: (they import repro.serve.arrival, whose package init is this file).
+_TENANCY_EXPORTS = ("TenancySpec", "run_tenancy_cell", "tenancy_matrix")
+
+
+def __getattr__(name: str):
+    if name in _TENANCY_EXPORTS:
+        from repro.serve import tenancy
+
+        return getattr(tenancy, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "AdmissionQueue",
@@ -54,6 +73,7 @@ __all__ = [
     "ClassReport",
     "Dispatcher",
     "DynamicBatcher",
+    "KNOWN_TENANTS",
     "LEGAL_TRANSITIONS",
     "Mmpp",
     "NaiveServeBackend",
@@ -70,10 +90,17 @@ __all__ = [
     "SloAccountant",
     "SweepSpec",
     "TERMINAL_STATES",
+    "TenancyConfig",
+    "TenancySpec",
+    "TenantShare",
     "TraceReplay",
+    "WeightedFairAdmission",
     "build_backend",
     "knee_rps",
     "run_saturation_sweep",
     "run_serve_point",
+    "run_tenancy_cell",
+    "tenancy_matrix",
+    "tenant_class",
     "trace_from_access_stream",
 ]

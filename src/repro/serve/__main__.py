@@ -11,6 +11,12 @@ placement policy) cell.
 trace and exits non-zero unless striping spreads the hotspot better than
 static sharding — the CI guard for the placement layer.
 
+``tenancy`` runs the multi-tenant scenario matrix (tenant mixes × fault
+storms × placement policies, wfq vs fifo admission per cell; schema
+``agile-tenancy/1``) and exits non-zero unless every cell shows the
+interference headline: wfq keeps inference's p99 inside its budget,
+fifo blows it, and the protective sheds land on batch training.
+
 Examples::
 
     python -m repro.serve sweep --seed 7
@@ -18,6 +24,7 @@ Examples::
     python -m repro.serve sweep --ssds 1,2,4 --placement shard,striped
     python -m repro.serve sweep --ssds 4 --placement striped --skew 0.6
     python -m repro.serve placement-smoke --out placement_smoke.json
+    python -m repro.serve tenancy --quick --out tenancy.json
 """
 
 from __future__ import annotations
@@ -131,6 +138,17 @@ def _parse_args(argv: Optional[List[str]]) -> argparse.Namespace:
         "(default: a GC-knee-straddling ladder)",
     )
     wp.add_argument("--out", default="", help="write comparison JSON here")
+
+    ten = sub.add_parser(
+        "tenancy",
+        help="multi-tenant scenario matrix (wfq vs fifo per cell)",
+    )
+    ten.add_argument("--seed", type=int, default=7)
+    ten.add_argument(
+        "--quick", action="store_true",
+        help="CI-sized matrix: one mix, calm + storm, one placement",
+    )
+    ten.add_argument("--out", default="", help="write matrix JSON here")
     return parser.parse_args(argv)
 
 
@@ -332,12 +350,72 @@ def _cmd_write_path(args) -> int:
     return 0
 
 
+def _cmd_tenancy(args) -> int:
+    from repro.serve.tenancy import (
+        TenancySpec,
+        _headline_ok,
+        quick_spec,
+        tenancy_matrix,
+    )
+    from repro.store.meta import TENANCY_SCHEMA, stamp
+
+    spec = quick_spec(seed=args.seed) if args.quick else TenancySpec(
+        seed=args.seed
+    )
+    print(
+        f"tenancy matrix: seed={spec.seed} "
+        f"rate={spec.rate_rps:,.0f} rps "
+        f"window={spec.duration_ns / 1e6:g} ms ssds={spec.num_ssds} "
+        f"mixes={','.join(spec.mixes)} storms={','.join(spec.storms)} "
+        f"placements={','.join(spec.placements)}"
+    )
+    doc = tenancy_matrix(spec)
+    stamp(doc, TENANCY_SCHEMA)
+    for label, cell in doc["cells"].items():
+        h = cell["headline"]
+        verdict = "ok" if _headline_ok(h) else "FAIL"
+        print(
+            f"  [{label}] {verdict}: "
+            f"infer p99 wfq {h['wfq_infer_p99_ns'] / 1e6:6.3f} ms vs "
+            f"fifo {h['fifo_infer_p99_ns'] / 1e6:6.3f} ms "
+            f"(budget {h['infer_slo_budget_ns'] / 1e6:g} ms) | "
+            f"shed infer {h['wfq_infer_shed_frac']:.3f} "
+            f"train {h['wfq_train_shed_frac']:.3f} | "
+            f"train completed {h['wfq_train_completed']}"
+        )
+        if h["starved_classes"]:
+            print(f"    starved: {h['starved_classes']}", file=sys.stderr)
+    summary = doc["summary"]
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+    if not summary["headline_ok"]:
+        print(
+            "FAIL: at least one cell lost the interference headline "
+            "(wfq inside budget, fifo outside, sheds on batch training, "
+            "nobody starved)",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        "OK: every cell holds the headline "
+        f"(worst storm-cell wfq infer p99 "
+        f"{summary['wfq_infer_p99_ns'] / 1e6:.3f} ms, best fifo "
+        f"{summary['fifo_infer_p99_ns'] / 1e6:.3f} ms)"
+    )
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _parse_args(argv)
     if args.command == "placement-smoke":
         return _cmd_placement_smoke(args)
     if args.command == "write-path":
         return _cmd_write_path(args)
+    if args.command == "tenancy":
+        return _cmd_tenancy(args)
     return _cmd_sweep(args)
 
 

@@ -151,6 +151,12 @@ class TraceReplay(ArrivalProcess):
     stretches it.  ``pages`` optionally carries the per-request page
     coordinates recorded with the trace — the engine consumes them in
     lock-step with the gaps, so workload locality is preserved.
+    ``logical`` optionally carries per-request *logical* LBA tuples
+    instead: the engine resolves them through the backend's placement
+    policy at arrival (exactly like sampled pages), so a logical trace
+    replays the same workload on any array size or placement policy —
+    what the cache-routed (``op="paged"``/``"modify"``) classes need,
+    since their tags are logical.
     """
 
     kind = "trace"
@@ -160,6 +166,7 @@ class TraceReplay(ArrivalProcess):
         gaps_ns: Sequence[float],
         scale: float = 1.0,
         pages: Optional[Sequence[Tuple[Tuple[int, int], ...]]] = None,
+        logical: Optional[Sequence[Tuple[int, ...]]] = None,
     ):
         if not len(gaps_ns):
             raise ValueError("trace must contain at least one gap")
@@ -169,9 +176,20 @@ class TraceReplay(ArrivalProcess):
             raise ValueError("gaps must be non-negative")
         if pages is not None and len(pages) != len(gaps_ns):
             raise ValueError("pages must pair 1:1 with gaps")
+        if logical is not None and len(logical) != len(gaps_ns):
+            raise ValueError("logical LBAs must pair 1:1 with gaps")
+        if pages is not None and logical is not None:
+            raise ValueError(
+                "a trace carries physical pages or logical LBAs, not both"
+            )
         self.gaps_ns = tuple(float(g) for g in gaps_ns)
         self.scale = float(scale)
         self.pages = tuple(pages) if pages is not None else None
+        self.logical = (
+            tuple(tuple(int(x) for x in group) for group in logical)
+            if logical is not None
+            else None
+        )
 
     @property
     def mean_rate_rps(self) -> float:
@@ -180,7 +198,10 @@ class TraceReplay(ArrivalProcess):
 
     def scaled(self, factor: float) -> "TraceReplay":
         return TraceReplay(
-            self.gaps_ns, scale=self.scale / factor, pages=self.pages
+            self.gaps_ns,
+            scale=self.scale / factor,
+            pages=self.pages,
+            logical=self.logical,
         )
 
     def gaps(self, rng: np.random.Generator) -> Iterator[float]:
@@ -196,6 +217,15 @@ class TraceReplay(ArrivalProcess):
         while True:
             for coords in self.pages:
                 yield coords
+
+    def logical_sequence(self) -> Iterator[Tuple[int, ...]]:
+        """Cycle the recorded per-request logical LBAs (1:1 with
+        :meth:`gaps`); only valid when the trace carries logical LBAs."""
+        if self.logical is None:
+            raise ValueError("trace was recorded without logical LBAs")
+        while True:
+            for group in self.logical:
+                yield group
 
 
 def trace_from_access_stream(

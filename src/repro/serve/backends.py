@@ -92,6 +92,13 @@ class ServeBackend:
         baselines here)."""
         return False
 
+    @property
+    def supports_paged(self) -> bool:
+        """Whether this backend can serve ``op="paged"`` classes — reads
+        routed through the four-state cache + Share Table so residency and
+        eviction are simulated (KV-cache paging needs this)."""
+        return False
+
     def start(self) -> None:
         pass
 
@@ -239,6 +246,13 @@ class AgileServeBackend(ServeBackend):
     def supports_writes(self) -> bool:
         return True
 
+    @property
+    def supports_paged(self) -> bool:
+        # Cache-routed reads need the single-host AGILE cache; the
+        # multi-GPU host shards its caches per node and the serve engine
+        # does not yet route paged classes node-affinely.
+        return self.host is not None
+
     def _caches(self) -> List[Any]:
         if self.host is not None:
             return [self.host.cache]
@@ -287,6 +301,22 @@ class AgileServeBackend(ServeBackend):
                         yield from ctrl.write_page_logical(
                             tc, chain, lba, dest, tenant=req.cls.name
                         )
+                    finish(req, ok)
+                    return
+                if op == "paged":
+                    # Cache-routed reads: hits ride the Share Table, misses
+                    # fault the page in and may evict a cold line — the
+                    # KV-cache paging residency model runs live here.
+                    for lba in req.logical:
+                        line = yield from ctrl.read_page_logical(
+                            tc, chain, lba, tenant=req.cls.name
+                        )
+                        ctrl.cache.unpin(line)
+                    for ssd, lba in req.pages[len(req.logical):]:
+                        line = yield from ctrl.read_page(
+                            tc, chain, ssd, lba
+                        )
+                        ctrl.cache.unpin(line)
                     finish(req, ok)
                     return
                 txns = []

@@ -31,6 +31,7 @@ from repro.serve.batcher import BatchPolicy, DynamicBatcher
 from repro.serve.dispatch import Dispatcher
 from repro.serve.request import Request, RequestClass, RequestState
 from repro.serve.slo import ServeReport, SloAccountant
+from repro.serve.wfq import TenancyConfig, WeightedFairAdmission
 from repro.sim.engine import Timeout
 from repro.sim.rng import RngStreams
 
@@ -49,6 +50,11 @@ class ServeConfig:
     pending_per_worker: int = 2
     #: Drain poll period after the window closes (ns).
     drain_poll_ns: float = 5_000.0
+    #: Multi-tenant scheduling policy.  None (the default) keeps the FIFO
+    #: :class:`~repro.serve.admission.AdmissionQueue` and its bit-exact
+    #: timelines; a :class:`~repro.serve.wfq.TenancyConfig` swaps in
+    #: weighted-fair admission with SLO-aware shedding.
+    tenancy: Optional[TenancyConfig] = None
 
     def __post_init__(self) -> None:
         if self.duration_ns <= 0:
@@ -75,11 +81,17 @@ class ServeEngine:
         missing = [c.name for c in classes if c.name not in arrivals]
         if missing:
             raise ValueError(f"no arrival process for class(es): {missing}")
-        writers = [c.name for c in classes if c.op != "read"]
+        writers = [c.name for c in classes if c.op in ("write", "modify")]
         if writers and not backend.supports_writes:
             raise ValueError(
                 f"backend {backend.system!r} is read-only; write/modify "
                 f"class(es) not servable: {writers}"
+            )
+        paged = [c.name for c in classes if c.op == "paged"]
+        if paged and not backend.supports_paged:
+            raise ValueError(
+                f"backend {backend.system!r} has no cache-routed read "
+                f"path; paged class(es) not servable: {paged}"
             )
         self.backend = backend
         self.classes = list(classes)
@@ -91,19 +103,41 @@ class ServeEngine:
         registry = backend.trace
 
         self.slo = SloAccountant(registry, self.classes)
-        self.admission = AdmissionQueue(
-            self.sim,
-            self.cfg.admission_capacity,
-            events=registry.counter(
-                "serve.admission",
-                description="admission-queue level outcomes",
-                labels=("shed", "queue_timeout"),
-            ),
-            depth_gauge=self._gauge(
-                registry, "serve.admission.depth", "queue", "admission"
-            ),
-            on_terminal=self._terminal,
+        admission_events = registry.counter(
+            "serve.admission",
+            description="admission-queue level outcomes",
+            labels=("shed", "queue_timeout"),
         )
+        admission_depth = self._gauge(
+            registry, "serve.admission.depth", "queue", "admission"
+        )
+        if self.cfg.tenancy is not None:
+            class_labels = tuple(
+                f"{kind}:{c.name}"
+                for c in self.classes
+                for kind in ("pull", "shed")
+            ) + ("shed_guard_fallback",)
+            self.admission = WeightedFairAdmission(
+                self.sim,
+                self.cfg.admission_capacity,
+                self.cfg.tenancy,
+                events=admission_events,
+                depth_gauge=admission_depth,
+                on_terminal=self._terminal,
+                class_events=registry.counter(
+                    "serve.tenancy",
+                    description="per-class scheduler outcomes",
+                    labels=class_labels,
+                ),
+            )
+        else:
+            self.admission = AdmissionQueue(
+                self.sim,
+                self.cfg.admission_capacity,
+                events=admission_events,
+                depth_gauge=admission_depth,
+                on_terminal=self._terminal,
+            )
         max_batch = self.cfg.batch.max_batch
         if backend.max_batch:
             max_batch = min(max_batch, backend.max_batch)
@@ -204,6 +238,11 @@ class ServeEngine:
             if isinstance(proc, TraceReplay) and proc.pages is not None
             else None
         )
+        logical_seq = (
+            proc.logical_sequence()
+            if isinstance(proc, TraceReplay) and proc.logical is not None
+            else None
+        )
         end = self.cfg.duration_ns
         for gap in proc.gaps(gap_rng):
             yield Timeout(gap)
@@ -211,6 +250,14 @@ class ServeEngine:
                 return
             if page_seq is not None:
                 logical, pages = (), next(page_seq)
+            elif logical_seq is not None:
+                # Logical traces resolve through placement at arrival, like
+                # sampled pages — the trace replays on any array layout.
+                logical = next(logical_seq)
+                pages = [
+                    self.backend.place(lba, tenant=cls.name)
+                    for lba in logical
+                ]
             else:
                 logical, pages = self._sample_pages(cls, page_rng)
             req = self._make_request(cls, pages, logical)

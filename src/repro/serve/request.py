@@ -95,15 +95,18 @@ class RequestClass:
     hot_fraction: float = 0.125
     #: What one request does with its pages: ``"read"`` (the default),
     #: ``"write"`` (cache-bypassing streaming stores — checkpoint shards),
-    #: or ``"modify"`` (read-modify-write through the cache, creating
-    #: MODIFIED lines whose durability rides on eviction write-back).
+    #: ``"modify"`` (read-modify-write through the cache, creating
+    #: MODIFIED lines whose durability rides on eviction write-back), or
+    #: ``"paged"`` (reads routed through the four-state cache + Share
+    #: Table — KV-cache paging, where residency and eviction of cold
+    #: pages under HBM pressure are the point of the experiment).
     op: str = "read"
 
     def __post_init__(self) -> None:
-        if self.op not in ("read", "write", "modify"):
+        if self.op not in ("read", "write", "modify", "paged"):
             raise ValueError(
-                f"class {self.name!r}: op must be 'read', 'write', or "
-                f"'modify', got {self.op!r}"
+                f"class {self.name!r}: op must be 'read', 'write', "
+                f"'modify', or 'paged', got {self.op!r}"
             )
         if self.pages < 1:
             raise ValueError(f"class {self.name!r}: pages must be >= 1")

@@ -30,6 +30,7 @@ from repro.serve.backends import (
 )
 from repro.serve.batcher import BatchPolicy
 from repro.serve.engine import ServeConfig, ServeEngine
+from repro.serve.registry import POINT, SCAN, tenant_class
 from repro.serve.request import RequestClass
 from repro.serve.slo import ServeReport
 
@@ -91,8 +92,8 @@ def standard_classes(spec: SweepSpec) -> List[RequestClass]:
     bottom of the space, ``scan`` directly above it (disjoint regions are
     what make tenant-affine placement meaningful)."""
     return [
-        RequestClass(
-            name="point",
+        tenant_class(
+            POINT,
             pages=1,
             slo_ns=spec.point_slo_ns,
             weight=POINT_FRACTION,
@@ -102,8 +103,8 @@ def standard_classes(spec: SweepSpec) -> List[RequestClass]:
             skew=spec.skew,
             hot_fraction=spec.hot_fraction,
         ),
-        RequestClass(
-            name="scan",
+        tenant_class(
+            SCAN,
             pages=4,
             slo_ns=spec.scan_slo_ns,
             weight=SCAN_FRACTION,
@@ -120,8 +121,8 @@ def standard_arrivals(
     spec: SweepSpec, rate_rps: float
 ) -> Dict[str, ArrivalProcess]:
     return {
-        "point": Poisson(rate_rps * POINT_FRACTION),
-        "scan": Poisson(rate_rps * SCAN_FRACTION),
+        POINT: Poisson(rate_rps * POINT_FRACTION),
+        SCAN: Poisson(rate_rps * SCAN_FRACTION),
     }
 
 

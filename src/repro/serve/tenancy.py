@@ -1,0 +1,478 @@
+"""The tenancy scenario matrix: tenant mixes × fault storms × placement.
+
+The multi-tenant interference experiment the GPU-SSD allocation
+literature asks for: latency-critical LLM inference (KV-cache paging
+through the four-state cache), its causally-tied KV appends, throughput
+batch-training reads, background checkpoint writes, and vector-search
+beam walks — five tenant classes sharing one AGILE machine.  Every cell
+of the matrix runs the *identical* offered timeline through two arms:
+
+- **wfq** — :class:`~repro.serve.wfq.WeightedFairAdmission` with the
+  shares declared here (inference weighted high and shed-guarded, batch
+  training weighted low and shed-tolerant);
+- **fifo** — the plain admission queue (the control arm).
+
+The headline the CI smoke gate asserts: under overload with a fault
+storm, the wfq arm keeps inference's completed-request p99 inside its
+SLO budget while the fifo arm blows it, and the difference is absorbed
+by batch-training *shedding* — bounded by its share's ``max_shed_frac``,
+so no class starves.  Artifact schema ``agile-tenancy/1`` (the literal
+is duplicated from ``repro.store.meta`` on purpose: importing it here
+would cycle, the same convention every serve experiment follows).
+
+Everything is seed-deterministic: arrival rng streams are named per
+class, storm plans derive from the seed, and the workload traces are
+pure functions of their specs — two runs of ``python -m repro.serve
+tenancy`` produce byte-identical artifacts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.config import (
+    CacheConfig,
+    PlacementConfig,
+    RecoveryConfig,
+    SsdConfig,
+    SystemConfig,
+    stable_hash,
+)
+from repro.faults import plan_from_seed, program_erase_plan_from_seed
+from repro.serve.arrival import ArrivalProcess, Poisson
+from repro.serve.backends import AgileServeBackend
+from repro.serve.batcher import BatchPolicy
+from repro.serve.engine import ServeConfig, ServeEngine
+from repro.serve.registry import (
+    CKPT,
+    INFER,
+    KV_APPEND,
+    TRAIN,
+    VSEARCH,
+    tenant_class,
+)
+from repro.serve.request import RequestClass
+from repro.serve.slo import ServeReport
+from repro.serve.wfq import TenancyConfig, TenantShare
+from repro.workloads.checkpoint import CheckpointSpec, checkpoint_trace
+from repro.workloads.kvcache import KvCacheSpec, kvcache_lba_space, kvcache_traces
+from repro.workloads.vsearch import (
+    VsearchSpec,
+    vsearch_lba_space,
+    vsearch_logical_trace,
+)
+
+#: Matrix axes the CLI accepts.
+STORMS = ("none", "storm", "pe-storm")
+TENANCY_PLACEMENTS = ("striped", "tenant_affine", "load_aware")
+ARMS = ("wfq", "fifo")
+
+#: Tenant mixes: fraction of the offered rate per class.  ``kv_append``
+#: is absent on purpose — its rate is causally derived from the KV-cache
+#: schedule (appends per decode read), not an independent dial.
+#: The latency-critical classes are sized to fit comfortably inside the
+#: machine's capacity on their own; the *page-heavy* batch classes are
+#: what push the total offered load past it.  Interference — not
+#: inference self-overload — is the object of study.
+MIXES: Dict[str, Dict[str, float]] = {
+    "inference_heavy": {INFER: 0.16, TRAIN: 0.46, CKPT: 0.08, VSEARCH: 0.30},
+    "train_heavy": {INFER: 0.08, TRAIN: 0.62, CKPT: 0.08, VSEARCH: 0.22},
+}
+
+
+@dataclass(frozen=True)
+class TenancySpec:
+    """One tenancy matrix's fixed parameters."""
+
+    rate_rps: float = 250_000.0
+    duration_ns: float = 8_000_000.0
+    seed: int = 7
+    num_ssds: int = 2
+    #: Software-cache lines — deliberately far below the KV region, so
+    #: paging pressure (faults + evictions of cold sequences) is real.
+    cache_lines: int = 64
+    #: Deep admission buffer: the fifo arm's p99 damage *is* this queue.
+    admission_capacity: int = 768
+    max_batch: int = 32
+    max_wait_ns: float = 50_000.0
+    storm_intensity: float = 1.0
+    #: Per-class SLO budgets (ns).
+    infer_slo_ns: float = 3_000_000.0
+    #: Degraded-mode multiplier on the inference p99 budget in storm
+    #: cells: fault-recovery tails (command timeouts + retries) inflate
+    #: *everyone's* p99 by mechanics no admission scheduler can remove,
+    #: so the storm-cell claim is "within the degraded budget" — the
+    #: strict budget still governs calm cells and attainment accounting.
+    storm_slo_factor: float = 3.0
+    kv_append_slo_ns: float = 8_000_000.0
+    train_slo_ns: float = 20_000_000.0
+    ckpt_slo_ns: float = 50_000_000.0
+    vsearch_slo_ns: float = 4_000_000.0
+    #: Batch-training request shape and region.
+    train_pages: int = 8
+    train_space: int = 1024
+    kv: KvCacheSpec = KvCacheSpec()
+    ckpt: CheckpointSpec = CheckpointSpec(table_pages=128, shard_pages=4)
+    vsearch: VsearchSpec = VsearchSpec(num_nodes=512)
+    mixes: Tuple[str, ...] = tuple(MIXES)
+    storms: Tuple[str, ...] = ("none", "storm")
+    placements: Tuple[str, ...] = ("striped", "tenant_affine")
+
+    def __post_init__(self) -> None:
+        for mix in self.mixes:
+            if mix not in MIXES:
+                raise ValueError(f"unknown mix {mix!r} (want {tuple(MIXES)})")
+        for storm in self.storms:
+            if storm not in STORMS:
+                raise ValueError(f"unknown storm {storm!r} (want {STORMS})")
+        for placement in self.placements:
+            if placement not in TENANCY_PLACEMENTS:
+                raise ValueError(
+                    f"unknown placement {placement!r} "
+                    f"(want {TENANCY_PLACEMENTS})"
+                )
+        if self.rate_rps <= 0:
+            raise ValueError("rate_rps must be > 0")
+        if self.storm_slo_factor < 1.0:
+            raise ValueError("storm_slo_factor must be >= 1")
+
+
+def tenancy_shares() -> TenancyConfig:
+    """The wfq arm's scheduling contract.
+
+    Inference and its KV appends are latency-critical: high weight, high
+    priority, tight shed guard (they must not be the overload's victim).
+    Batch training is the explicit shock absorber: lowest priority and a
+    near-open shed bound — but *near*-open, so the starvation guarantee
+    stays a guarantee, not a vibe.
+    """
+    return TenancyConfig(
+        (
+            TenantShare(INFER, weight=6.0, priority=3, max_shed_frac=0.05),
+            TenantShare(KV_APPEND, weight=4.0, priority=3, max_shed_frac=0.1),
+            TenantShare(VSEARCH, weight=3.0, priority=2, max_shed_frac=0.3),
+            TenantShare(CKPT, weight=1.0, priority=1, max_shed_frac=0.6),
+            TenantShare(TRAIN, weight=1.0, priority=0, max_shed_frac=0.95),
+        )
+    )
+
+
+# -- machine + workload construction -----------------------------------------
+
+
+def _region_bases(spec: TenancySpec) -> Dict[str, int]:
+    """Disjoint logical regions: KV blocks first (infer and kv_append
+    share it — same tenant's data), then training data, the checkpoint
+    table, and the vector index."""
+    kv = kvcache_lba_space(spec.kv)
+    bases = {
+        INFER: 0,
+        KV_APPEND: 0,
+        TRAIN: kv,
+        CKPT: kv + spec.train_space,
+        VSEARCH: kv + spec.train_space + spec.ckpt.table_pages,
+    }
+    return bases
+
+
+def tenancy_span(spec: TenancySpec) -> int:
+    """Total logical pages across every class region."""
+    return (
+        kvcache_lba_space(spec.kv)
+        + spec.train_space
+        + spec.ckpt.table_pages
+        + vsearch_lba_space(spec.vsearch)
+    )
+
+
+def tenancy_classes(spec: TenancySpec) -> List[RequestClass]:
+    bases = _region_bases(spec)
+    return [
+        tenant_class(
+            INFER,
+            slo_ns=spec.infer_slo_ns,
+            lba_space=kvcache_lba_space(spec.kv),
+            lba_base=bases[INFER],
+        ),
+        tenant_class(
+            KV_APPEND,
+            slo_ns=spec.kv_append_slo_ns,
+            lba_space=kvcache_lba_space(spec.kv),
+            lba_base=bases[KV_APPEND],
+        ),
+        tenant_class(
+            TRAIN,
+            pages=spec.train_pages,
+            slo_ns=spec.train_slo_ns,
+            lba_space=spec.train_space,
+            lba_base=bases[TRAIN],
+        ),
+        tenant_class(
+            CKPT,
+            pages=spec.ckpt.shard_pages,
+            slo_ns=spec.ckpt_slo_ns,
+            lba_space=spec.ckpt.table_pages,
+            lba_base=bases[CKPT],
+        ),
+        tenant_class(
+            VSEARCH,
+            pages=spec.vsearch.beam_width,
+            slo_ns=spec.vsearch_slo_ns,
+            lba_space=vsearch_lba_space(spec.vsearch),
+            lba_base=bases[VSEARCH],
+        ),
+    ]
+
+
+def _system_config(
+    spec: TenancySpec, storm: str, placement: str
+) -> SystemConfig:
+    if storm == "storm":
+        faults = plan_from_seed(spec.seed, spec.storm_intensity)
+    elif storm == "pe-storm":
+        faults = program_erase_plan_from_seed(spec.seed, spec.storm_intensity)
+    else:
+        faults = None
+    recovery = (
+        RecoveryConfig(
+            enabled=True,
+            command_timeout_ns=1_200_000.0,
+            scan_interval_ns=150_000.0,
+            max_retries=4,
+            retry_backoff_ns=50_000.0,
+            breaker_threshold=12,
+        )
+        if faults is not None
+        else RecoveryConfig()
+    )
+    policy = placement if spec.num_ssds > 1 else "identity"
+    cfg = SystemConfig(
+        seed=spec.seed,
+        cache=CacheConfig(num_lines=spec.cache_lines, ways=4),
+        ssds=(SsdConfig(capacity_bytes=1 << 28),),
+        queue_pairs=4,
+        queue_depth=32,
+        placement=PlacementConfig(
+            policy=policy, stripe_pages=1, shard_span=tenancy_span(spec)
+        ),
+    )
+    if faults is not None:
+        cfg = replace(cfg, faults=faults, recovery=recovery)
+    return cfg.with_ssds(spec.num_ssds)
+
+
+def tenancy_arrivals(
+    spec: TenancySpec, mix_name: str, backend: AgileServeBackend
+) -> Dict[str, ArrivalProcess]:
+    """Arrival processes for one mix: KV traces are lock-step logical
+    replays, checkpoints replay their shard schedule through placement,
+    vector search replays its beam walks, training is Poisson."""
+    mix = MIXES[mix_name]
+    bases = _region_bases(spec)
+    infer_rate = spec.rate_rps * mix[INFER]
+    read_trace, append_trace = kvcache_traces(
+        spec.kv, infer_rate, lba_base=bases[INFER]
+    )
+    return {
+        INFER: read_trace,
+        KV_APPEND: append_trace,
+        TRAIN: Poisson(spec.rate_rps * mix[TRAIN]),
+        CKPT: checkpoint_trace(
+            spec.ckpt,
+            spec.rate_rps * mix[CKPT],
+            backend.place,
+            lba_base=bases[CKPT],
+            tenant=CKPT,
+        ),
+        VSEARCH: vsearch_logical_trace(
+            spec.vsearch,
+            spec.rate_rps * mix[VSEARCH],
+            lba_base=bases[VSEARCH],
+        ),
+    }
+
+
+# -- one cell -----------------------------------------------------------------
+
+
+def cell_label(mix: str, storm: str, placement: str) -> str:
+    return f"mix={mix},storm={storm},placement={placement}"
+
+
+def run_tenancy_arm(
+    spec: TenancySpec, mix_name: str, storm: str, placement: str, arm: str
+) -> ServeReport:
+    """One arm of one cell on a fresh machine (identical seed and
+    arrival timeline across arms; only the admission policy differs)."""
+    if arm not in ARMS:
+        raise ValueError(f"unknown arm {arm!r} (want {ARMS})")
+    backend = AgileServeBackend(_system_config(spec, storm, placement))
+    classes = tenancy_classes(spec)
+    backend.load_pattern(classes)
+    serve_cfg = ServeConfig(
+        duration_ns=spec.duration_ns,
+        admission_capacity=spec.admission_capacity,
+        batch=BatchPolicy(
+            max_batch=spec.max_batch, max_wait_ns=spec.max_wait_ns
+        ),
+        tenancy=tenancy_shares() if arm == "wfq" else None,
+    )
+    engine = ServeEngine(
+        backend,
+        classes,
+        tenancy_arrivals(spec, mix_name, backend),
+        serve_cfg,
+        seed=spec.seed,
+    )
+    return engine.run()
+
+
+def _shed_frac(report: ServeReport, name: str) -> float:
+    cls = report.classes[name]
+    return cls.shed / cls.offered if cls.offered else 0.0
+
+
+def _cell_headline(
+    spec: TenancySpec, wfq: ServeReport, fifo: ServeReport, storm: str
+) -> Dict[str, object]:
+    """The scalars the smoke gate and the store watch, per cell.
+
+    ``infer_slo_budget_ns`` is the p99 budget this cell is judged
+    against: the strict SLO in calm cells, ``storm_slo_factor`` times it
+    when a fault storm is armed (degraded-mode budget).  Attainment is
+    always accounted against the strict SLO.
+    """
+    starved = sorted(
+        name for name, cls in wfq.classes.items() if cls.completed == 0
+    )
+    budget = spec.infer_slo_ns * (
+        spec.storm_slo_factor if storm != "none" else 1.0
+    )
+    return {
+        "infer_slo_ns": spec.infer_slo_ns,
+        "infer_slo_budget_ns": budget,
+        "wfq_infer_p99_ns": wfq.classes[INFER].p99_ns,
+        "fifo_infer_p99_ns": fifo.classes[INFER].p99_ns,
+        "wfq_infer_slo_attainment": wfq.classes[INFER].slo_attainment,
+        "fifo_infer_slo_attainment": fifo.classes[INFER].slo_attainment,
+        "wfq_infer_shed_frac": _shed_frac(wfq, INFER),
+        "wfq_train_shed_frac": _shed_frac(wfq, TRAIN),
+        "fifo_train_shed_frac": _shed_frac(fifo, TRAIN),
+        "wfq_train_completed": wfq.classes[TRAIN].completed,
+        "starved_classes": starved,
+    }
+
+
+def run_tenancy_cell(
+    spec: TenancySpec, mix_name: str, storm: str, placement: str
+) -> Dict[str, object]:
+    wfq = run_tenancy_arm(spec, mix_name, storm, placement, "wfq")
+    fifo = run_tenancy_arm(spec, mix_name, storm, placement, "fifo")
+    return {
+        "wfq": wfq.as_dict(),
+        "fifo": fifo.as_dict(),
+        "headline": _cell_headline(spec, wfq, fifo, storm),
+    }
+
+
+# -- the matrix ---------------------------------------------------------------
+
+
+def _headline_ok(headline: Dict[str, object]) -> bool:
+    """One cell's interference claim: wfq keeps inference inside the
+    cell's budget, fifo does not, nobody starves, and the sheds that
+    protect inference land on batch training."""
+    budget = float(headline["infer_slo_budget_ns"])
+    return (
+        float(headline["wfq_infer_p99_ns"]) <= budget
+        and float(headline["fifo_infer_p99_ns"]) > budget
+        and not headline["starved_classes"]
+        and float(headline["wfq_train_shed_frac"])
+        >= float(headline["wfq_infer_shed_frac"])
+    )
+
+
+def tenancy_matrix(spec: TenancySpec) -> Dict[str, object]:
+    """The full matrix document (schema ``agile-tenancy/1``).
+
+    ``summary.headline_ok`` is 1 iff *every* cell individually passes
+    :func:`_headline_ok` — calm cells against the strict inference
+    budget, storm cells against the degraded-mode budget
+    (``storm_slo_factor`` times it).  The worst-case scalars in the
+    summary are taken over the storm cells, the stress condition the
+    store baseline watches.
+    """
+    cells: Dict[str, object] = {}
+    all_headlines: List[Dict[str, object]] = []
+    storm_headlines: List[Dict[str, object]] = []
+    for mix_name in spec.mixes:
+        for storm in spec.storms:
+            for placement in spec.placements:
+                cell = run_tenancy_cell(spec, mix_name, storm, placement)
+                cells[cell_label(mix_name, storm, placement)] = cell
+                all_headlines.append(cell["headline"])
+                if storm != "none":
+                    storm_headlines.append(cell["headline"])
+    if not storm_headlines:
+        raise ValueError("tenancy matrix needs at least one storm cell")
+    shares = tenancy_shares()
+    worst = {
+        "wfq_infer_p99_ns": max(
+            float(h["wfq_infer_p99_ns"]) for h in storm_headlines
+        ),
+        "fifo_infer_p99_ns": min(
+            float(h["fifo_infer_p99_ns"]) for h in storm_headlines
+        ),
+        "wfq_infer_slo_attainment": min(
+            float(h["wfq_infer_slo_attainment"]) for h in storm_headlines
+        ),
+        "fifo_infer_slo_attainment": max(
+            float(h["fifo_infer_slo_attainment"]) for h in storm_headlines
+        ),
+        "wfq_train_shed_frac": max(
+            float(h["wfq_train_shed_frac"]) for h in storm_headlines
+        ),
+        "min_train_completed": min(
+            int(h["wfq_train_completed"]) for h in storm_headlines
+        ),
+    }
+    return {
+        "schema": "agile-tenancy/1",
+        "seed": spec.seed,
+        "rate_rps": spec.rate_rps,
+        "duration_ns": spec.duration_ns,
+        "num_ssds": spec.num_ssds,
+        "mixes": list(spec.mixes),
+        "storms": list(spec.storms),
+        "placements": list(spec.placements),
+        "config_hash": stable_hash(
+            {"family": "agile-tenancy", "spec": spec}
+        ),
+        "shares": {
+            s.name: {
+                "weight": s.weight,
+                "priority": s.priority,
+                "max_shed_frac": s.max_shed_frac,
+            }
+            for s in shares.shares
+        },
+        "cells": cells,
+        "summary": {
+            "infer_slo_ns": spec.infer_slo_ns,
+            **worst,
+            "headline_ok": int(
+                all(_headline_ok(h) for h in all_headlines)
+            ),
+        },
+    }
+
+
+def quick_spec(seed: int = 7) -> TenancySpec:
+    """The CI-sized matrix: one mix, calm + classic storm, one placement."""
+    return TenancySpec(
+        seed=seed,
+        mixes=("inference_heavy",),
+        storms=("none", "storm"),
+        placements=("striped",),
+    )

@@ -39,6 +39,7 @@ from repro.serve.arrival import ArrivalProcess, Poisson
 from repro.serve.backends import AgileServeBackend
 from repro.serve.batcher import BatchPolicy
 from repro.serve.engine import ServeConfig, ServeEngine
+from repro.serve.registry import CKPT, HOT, POINT, tenant_class
 from repro.serve.request import RequestClass
 from repro.serve.sweep import ServePoint, knee_rps
 from repro.workloads.checkpoint import CheckpointSpec, checkpoint_trace
@@ -99,18 +100,16 @@ def write_path_classes(spec: WritePathSpec) -> List[RequestClass]:
     """The three-tenant mix on disjoint logical regions (ckpt at the
     bottom, then the modify region, then the read region)."""
     return [
-        RequestClass(
-            name="ckpt",
-            op="write",
+        tenant_class(
+            CKPT,
             pages=spec.shard_pages,
             slo_ns=spec.ckpt_slo_ns,
             weight=CKPT_FRACTION,
             lba_space=spec.table_pages,
             lba_base=0,
         ),
-        RequestClass(
-            name="hot",
-            op="modify",
+        tenant_class(
+            HOT,
             pages=1,
             slo_ns=spec.modify_slo_ns,
             weight=MODIFY_FRACTION,
@@ -118,9 +117,8 @@ def write_path_classes(spec: WritePathSpec) -> List[RequestClass]:
             lba_space=spec.modify_space,
             lba_base=spec.table_pages,
         ),
-        RequestClass(
-            name="point",
-            op="read",
+        tenant_class(
+            POINT,
             pages=1,
             slo_ns=spec.read_slo_ns,
             weight=READ_FRACTION,
@@ -164,15 +162,15 @@ def run_write_path_point(
         table_pages=spec.table_pages, shard_pages=spec.shard_pages
     )
     arrivals: Dict[str, ArrivalProcess] = {
-        "ckpt": checkpoint_trace(
+        CKPT: checkpoint_trace(
             ckpt_spec,
             rate_rps * CKPT_FRACTION,
             backend.place,
             lba_base=0,
-            tenant="ckpt",
+            tenant=CKPT,
         ),
-        "hot": Poisson(rate_rps * MODIFY_FRACTION),
-        "point": Poisson(rate_rps * READ_FRACTION),
+        HOT: Poisson(rate_rps * MODIFY_FRACTION),
+        POINT: Poisson(rate_rps * READ_FRACTION),
     }
     serve_cfg = ServeConfig(
         duration_ns=spec.duration_ns,
@@ -206,7 +204,7 @@ def _curve_dict(points: Sequence[ServePoint]) -> Dict[str, object]:
 
 
 def _read_p99(pt: ServePoint) -> float:
-    cls = pt.report.classes.get("point")
+    cls = pt.report.classes.get(POINT)
     return cls.p99_ns if cls is not None else pt.report.p99_ns
 
 

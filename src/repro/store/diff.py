@@ -35,7 +35,7 @@ _LOWER_IS_BETTER = (
 )
 _HIGHER_IS_BETTER = (
     "goodput_rps", "bandwidth_gbps", "knee_rps", "slo_ok",
-    "slo_attainment", "completed",
+    "slo_attainment", "completed", "headline_ok",
 )
 _INFORMATIONAL = (
     "events_per_sec", "wall_s", "sim_events", "batches", "offered",

@@ -17,6 +17,8 @@ Supported schemas:
 - ``agile-placement-smoke/1`` and the tag-less legacy placement document
   (detected by shape),
 - ``agile-write-path/1`` (GC-on vs GC-off write-heavy serving),
+- ``agile-tenancy/1`` (the multi-tenant scenario matrix: wfq vs fifo
+  admission per mix × storm × placement cell),
 - ``agile-explore/1`` (the store's own parameter-grid sweeps).
 
 Unknown schemas raise :class:`UnknownSchemaError` rather than guessing.
@@ -256,6 +258,35 @@ def _write_path_points(doc: Mapping[str, object]) -> List[Point]:
     return out
 
 
+def _tenancy_points(doc: Mapping[str, object]) -> List[Point]:
+    """Tenancy matrix: each cell label (``mix=..,storm=..,placement=..``)
+    parses into axes, the two admission arms add an ``arm`` axis (the
+    per-class reports flatten to ``classes.<name>.<metric>``), the cell
+    headline lands under ``section=headline``, and the matrix summary —
+    the worst-case scalars the gate watches — under ``section=summary``."""
+    out: List[Point] = []
+    cells = doc.get("cells")
+    if isinstance(cells, Mapping):
+        for label in sorted(map(str, cells)):
+            cell = cells[label]
+            if not isinstance(cell, Mapping):
+                continue
+            cell_axes = _parse_grid_label(label)
+            for arm in ("wfq", "fifo"):
+                report = cell.get(arm)
+                if isinstance(report, Mapping):
+                    out.extend(_points({**cell_axes, "arm": arm}, report))
+            headline = cell.get("headline")
+            if isinstance(headline, Mapping):
+                out.extend(
+                    _points({**cell_axes, "section": "headline"}, headline)
+                )
+    summary = doc.get("summary")
+    if isinstance(summary, Mapping):
+        out.extend(_points({"section": "summary"}, summary))
+    return out
+
+
 def _explore_points(doc: Mapping[str, object]) -> List[Point]:
     out: List[Point] = []
     for cell in doc.get("cells", ()):
@@ -275,6 +306,7 @@ _ADAPTERS = {
     "agile-serve-sweep/3": _serve_sweep_points,
     "agile-placement-smoke/1": _placement_smoke_points,
     "agile-write-path/1": _write_path_points,
+    "agile-tenancy/1": _tenancy_points,
     "agile-explore/1": _explore_points,
 }
 

@@ -30,6 +30,7 @@ SERVE_SWEEP_SCHEMA = "agile-serve-sweep/3"
 PLACEMENT_SMOKE_SCHEMA = "agile-placement-smoke/1"
 EXPLORE_SCHEMA = "agile-explore/1"
 WRITE_PATH_SCHEMA = "agile-write-path/1"
+TENANCY_SCHEMA = "agile-tenancy/1"
 
 
 def now_unix() -> float:

@@ -12,7 +12,13 @@
   generators with CSR/SSD layout (GAP-style, Fig. 11);
 - :mod:`repro.workloads.bfs` / :mod:`repro.workloads.spmv` — the graph
   kernels of Figs. 11-12 in native / AGILE / BaM variants;
-- :mod:`repro.workloads.vecmean` — the vector-mean kernel of Fig. 12.
+- :mod:`repro.workloads.vecmean` — the vector-mean kernel of Fig. 12;
+- :mod:`repro.workloads.checkpoint` — DLRM-checkpoint streaming writes
+  (the write-path experiment's background tenant);
+- :mod:`repro.workloads.kvcache` — LLM-inference KV-cache paging between
+  HBM and SSD (the tenancy subsystem's latency-critical tenant);
+- :mod:`repro.workloads.vsearch` — DiskANN-style vector-search beam
+  walks over a disk-resident graph index.
 """
 
 from repro.workloads.ctc import CtcResult, run_ctc_experiment
@@ -22,6 +28,11 @@ from repro.workloads.dlrm import DlrmConfig, DlrmResult, run_dlrm
 from repro.workloads.graphs import CsrGraph, kronecker_graph, uniform_random_graph
 from repro.workloads.bfs import bfs_reference, run_bfs
 from repro.workloads.spmv import run_spmv, spmv_reference
+
+# repro.workloads.checkpoint / .kvcache / .vsearch are import-by-module
+# (not re-exported here): they build serve traces, so importing them from
+# the package init would cycle through repro.serve.arrival, which itself
+# imports repro.workloads.access.
 
 __all__ = [
     "run_ctc_experiment",

@@ -1,0 +1,153 @@
+"""DiskANN-style vector-search trace workload (fourth tenant class).
+
+A disk-resident ANN index stores one node per page: the node's vector
+plus its out-neighbour list.  A query greedily beam-searches from a
+fixed entry point (the medoid) toward its target: each hop reads the
+current beam's pages, scores their neighbours, and keeps the
+``beam_width`` closest as the next beam.  The access pattern that
+matters for storage is therefore: a scorching-hot entry page, warm pages
+near it, and a long random tail — per-hop multi-page reads with high
+skew toward the graph's "center".
+
+Everything here is a pure function of the spec (seeded rng): the graph,
+the queries, and the walks replay bit-identically.  Distance is a
+surrogate (|node_id - target_id| on a ring) — the *geometry* of real
+vectors is irrelevant to I/O; what matters is that walks are directed,
+converge, and revisit the entry region, which the surrogate preserves.
+
+Two exports: :func:`vsearch_trace` packages the walks as a physical
+serve trace via the shared :func:`~repro.serve.arrival.
+trace_from_access_stream` helper (one node = one 1024-float page), and
+:func:`vsearch_logical_trace` as a logical trace for placement-policy
+experiments (the tenancy matrix uses this one).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.config import NS_PER_S
+from repro.serve.arrival import TraceReplay, trace_from_access_stream
+from repro.workloads.access import StripedRegion
+
+#: float32 elements per 4 KiB page — one node's vector exactly fills a
+#: page, so element index ``node * VECTOR_DIM`` lands node *n* on page *n*.
+VECTOR_DIM = 1024
+
+
+@dataclass(frozen=True)
+class VsearchSpec:
+    """Shape of one beam-search trace: the index graph and the query load."""
+
+    num_nodes: int = 2048
+    #: Out-neighbours per node (the graph's degree).
+    out_degree: int = 6
+    #: Beam width (pages read per hop, before dedup).
+    beam_width: int = 4
+    #: Hops per query walk.
+    hops: int = 5
+    num_queries: int = 64
+    #: Entry node every walk starts from (the medoid — the hot page).
+    medoid: int = 0
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 2:
+            raise ValueError("num_nodes must be >= 2")
+        if self.out_degree < 1:
+            raise ValueError("out_degree must be >= 1")
+        if self.beam_width < 1:
+            raise ValueError("beam_width must be >= 1")
+        if self.hops < 1:
+            raise ValueError("hops must be >= 1")
+        if self.num_queries < 1:
+            raise ValueError("num_queries must be >= 1")
+        if not 0 <= self.medoid < self.num_nodes:
+            raise ValueError("medoid must be a valid node id")
+
+
+def vsearch_lba_space(spec: VsearchSpec) -> int:
+    """Logical pages the index spans (one node per page)."""
+    return spec.num_nodes
+
+
+def _distance(node: int, target: int, num_nodes: int) -> int:
+    """Ring surrogate distance: directed, converging, deterministic."""
+    d = abs(node - target)
+    return min(d, num_nodes - d)
+
+
+def vsearch_walks(spec: VsearchSpec) -> List[Tuple[int, ...]]:
+    """The deterministic walks: one tuple of visited node ids per hop
+    (the beam whose pages that hop reads), queries concatenated."""
+    rng = np.random.default_rng(spec.seed)
+    graph = rng.integers(
+        0, spec.num_nodes, size=(spec.num_nodes, spec.out_degree)
+    )
+    targets = rng.integers(0, spec.num_nodes, size=spec.num_queries)
+    walks: List[Tuple[int, ...]] = []
+    for target in (int(t) for t in targets):
+        beam = [spec.medoid]
+        visited = {spec.medoid}
+        for _ in range(spec.hops):
+            walks.append(tuple(beam))
+            candidates: List[int] = []
+            for node in beam:
+                for nxt in (int(n) for n in graph[node]):
+                    if nxt not in visited and nxt not in candidates:
+                        candidates.append(nxt)
+            if not candidates:
+                break
+            candidates.sort(
+                key=lambda n: (_distance(n, target, spec.num_nodes), n)
+            )
+            beam = candidates[: spec.beam_width]
+            visited.update(beam)
+    return walks
+
+
+def vsearch_trace(
+    spec: VsearchSpec,
+    region: StripedRegion,
+    rate_rps: float,
+) -> TraceReplay:
+    """The walks as a physical serve trace over ``region`` (a float32
+    region of at least ``num_nodes * VECTOR_DIM`` elements), built through
+    the shared access-stream helper: each hop's beam becomes one request
+    whose pages are the beam nodes' vector pages."""
+    if np.dtype(region.dtype).itemsize != 4:
+        raise ValueError("vsearch regions are float32 (4-byte) typed")
+    walks = vsearch_walks(spec)
+    elements: List[int] = []
+    per_request = max(len(w) for w in walks)
+    for beam in walks:
+        # Pad short beams by repeating the first node: the helper dedups
+        # coordinates, so padding adds no pages — it only keeps the
+        # fixed-size grouping aligned one request per hop.
+        padded = list(beam) + [beam[0]] * (per_request - len(beam))
+        elements.extend(node * VECTOR_DIM for node in padded)
+    return trace_from_access_stream(
+        region, elements, rate_rps, elements_per_request=per_request
+    )
+
+
+def vsearch_logical_trace(
+    spec: VsearchSpec,
+    rate_rps: float,
+    lba_base: int = 0,
+) -> TraceReplay:
+    """The walks as a *logical* serve trace (one node = one logical page
+    at ``lba_base + node``): the engine resolves placement at arrival, so
+    the same walk replays under any policy — the tenancy matrix's
+    placement axis needs this form."""
+    if rate_rps <= 0:
+        raise ValueError("rate_rps must be > 0")
+    walks = vsearch_walks(spec)
+    gap = NS_PER_S / rate_rps
+    return TraceReplay(
+        [gap] * len(walks),
+        logical=[tuple(lba_base + node for node in beam) for beam in walks],
+    )

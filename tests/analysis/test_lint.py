@@ -360,6 +360,44 @@ class TestPageStoreMutation:
         assert run_lint(tmp_path, src) == []
 
 
+class TestTenantRegistry:
+    def test_request_class_construction_fires(self, tmp_path):
+        src = (
+            "from repro.serve.request import RequestClass\n"
+            "cls = RequestClass(name='rogue', pages=2)\n"
+        )
+        v = run_lint(tmp_path, src)
+        assert codes(v) == ["AGL015"]
+        assert "serve/registry.py" in v[0].message
+
+    def test_string_literal_label_fires(self, tmp_path):
+        src = (
+            "from repro.serve.registry import tenant_class\n"
+            "cls = tenant_class('point', pages=2)\n"
+        )
+        v = run_lint(tmp_path, src)
+        assert codes(v) == ["AGL015"]
+        assert "'point'" in v[0].message
+
+    def test_registry_constant_is_fine(self, tmp_path):
+        src = (
+            "from repro.serve.registry import POINT, tenant_class\n"
+            "cls = tenant_class(POINT, pages=2)\n"
+        )
+        assert run_lint(tmp_path, src) == []
+
+    def test_registry_module_is_exempt(self, tmp_path):
+        sdir = tmp_path / "serve"
+        sdir.mkdir()
+        f = sdir / "registry.py"
+        f.write_text(
+            "from repro.serve.request import RequestClass\n"
+            "POINT = 'point'\n"
+            "TENANTS = {POINT: RequestClass(name=POINT)}\n"
+        )
+        assert lint_paths([str(f)]) == []
+
+
 class TestCli:
     def test_main_exit_codes(self, tmp_path, capsys):
         dirty = tmp_path / "dirty.py"

@@ -9,6 +9,7 @@ from repro.serve.backends import AgileServeBackend, BamServeBackend
 from repro.serve.batcher import BatchPolicy
 from repro.serve.engine import ServeConfig, ServeEngine
 from repro.serve.request import RequestClass
+from repro.serve.wfq import TenancyConfig
 
 from tests.helpers import small_config
 
@@ -22,6 +23,7 @@ def small_serve_engine(
     arrivals: Optional[Dict[str, ArrivalProcess]] = None,
     admission_capacity: int = 32,
     config_overrides: Optional[Dict[str, Any]] = None,
+    tenancy: Optional[TenancyConfig] = None,
 ) -> ServeEngine:
     cfg = small_config(**(config_overrides or {}))
     if system == "agile":
@@ -46,6 +48,7 @@ def small_serve_engine(
             duration_ns=duration_ns,
             admission_capacity=admission_capacity,
             batch=BatchPolicy(max_batch=8, max_wait_ns=20_000.0),
+            tenancy=tenancy,
         ),
         seed=seed,
     )

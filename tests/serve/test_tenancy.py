@@ -1,0 +1,152 @@
+"""The tenancy scenario matrix: registry discipline, bit-determinism,
+headline logic, and store ingest."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.serve.registry import (
+    CKPT,
+    INFER,
+    KNOWN_TENANTS,
+    KV_APPEND,
+    TRAIN,
+    VSEARCH,
+    tenant_class,
+)
+from repro.serve.tenancy import (
+    TenancySpec,
+    _headline_ok,
+    cell_label,
+    run_tenancy_cell,
+    tenancy_matrix,
+    tenancy_shares,
+)
+from repro.store.ingest import ingest_document
+from repro.workloads.checkpoint import CheckpointSpec
+from repro.workloads.kvcache import KvCacheSpec
+from repro.workloads.vsearch import VsearchSpec
+
+
+def mini_spec(**overrides) -> TenancySpec:
+    """A seconds-not-minutes matrix: tiny traces, short window."""
+    defaults = dict(
+        rate_rps=150_000.0,
+        duration_ns=1_200_000.0,
+        num_ssds=2,
+        cache_lines=32,
+        admission_capacity=64,
+        kv=KvCacheSpec(num_slots=4, blocks_per_seq=8, events=64),
+        ckpt=CheckpointSpec(table_pages=32, shard_pages=2),
+        vsearch=VsearchSpec(num_nodes=64, num_queries=8),
+        train_space=256,
+        mixes=("inference_heavy",),
+        storms=("none",),
+        placements=("striped",),
+    )
+    defaults.update(overrides)
+    return TenancySpec(**defaults)
+
+
+class TestRegistry:
+    def test_unknown_label_rejected(self):
+        with pytest.raises(ValueError):
+            tenant_class("mystery_tenant")
+
+    def test_name_override_rejected(self):
+        with pytest.raises(ValueError):
+            tenant_class(INFER, name="sneaky")
+
+    def test_op_override_rejected(self):
+        with pytest.raises(ValueError):
+            tenant_class(TRAIN, op="write")
+
+    def test_quantity_overrides_apply(self):
+        cls = tenant_class(TRAIN, pages=16, lba_space=512)
+        assert cls.name == TRAIN
+        assert cls.pages == 16
+        assert cls.lba_space == 512
+
+    def test_shares_cover_the_tenancy_classes(self):
+        names = {s.name for s in tenancy_shares().shares}
+        assert names == {INFER, KV_APPEND, TRAIN, CKPT, VSEARCH}
+        assert names <= set(KNOWN_TENANTS)
+
+
+class TestCellDeterminism:
+    def test_same_spec_same_cell_bit_for_bit(self):
+        spec = mini_spec()
+        a = run_tenancy_cell(spec, "inference_heavy", "none", "striped")
+        b = run_tenancy_cell(spec, "inference_heavy", "none", "striped")
+        assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+
+    def test_arms_actually_differ(self):
+        # wfq and fifo are different schedulers on the same arrivals: the
+        # cell must not accidentally run the same arm twice.
+        spec = mini_spec(admission_capacity=8)
+        cell = run_tenancy_cell(spec, "inference_heavy", "none", "striped")
+        assert cell["wfq"] != cell["fifo"]
+
+    def test_every_tenant_is_offered_traffic(self):
+        spec = mini_spec()
+        cell = run_tenancy_cell(spec, "inference_heavy", "none", "striped")
+        for name in (INFER, KV_APPEND, TRAIN, CKPT, VSEARCH):
+            assert cell["wfq"]["classes"][name]["offered"] > 0
+
+
+class TestMatrix:
+    def test_matrix_document_shape_and_ingest(self):
+        doc = tenancy_matrix(mini_spec(storms=("none", "storm")))
+        assert doc["schema"] == "agile-tenancy/1"
+        assert doc["config_hash"]
+        label = cell_label("inference_heavy", "none", "striped")
+        assert label in doc["cells"]
+        assert "headline_ok" in doc["summary"]
+        record, points = ingest_document(doc, source="test")
+        assert record.schema == "agile-tenancy/1"
+        axes_seen = {p.axes.get("storm") for p in points}
+        assert {"none", "storm"} <= axes_seen
+        assert any(p.axes.get("section") == "summary" for p in points)
+
+    def test_config_hash_tracks_the_spec(self):
+        a = tenancy_matrix(
+            mini_spec(storms=("storm",), duration_ns=800_000.0)
+        )
+        b = tenancy_matrix(
+            mini_spec(
+                storms=("storm",),
+                duration_ns=800_000.0,
+                rate_rps=140_000.0,
+            )
+        )
+        assert a["config_hash"] != b["config_hash"]
+
+
+class TestHeadline:
+    BASE = {
+        "infer_slo_budget_ns": 3e6,
+        "wfq_infer_p99_ns": 1e6,
+        "fifo_infer_p99_ns": 9e6,
+        "wfq_infer_shed_frac": 0.0,
+        "wfq_train_shed_frac": 0.4,
+        "starved_classes": [],
+    }
+
+    def test_good_cell_passes(self):
+        assert _headline_ok(dict(self.BASE))
+
+    def test_wfq_over_budget_fails(self):
+        assert not _headline_ok({**self.BASE, "wfq_infer_p99_ns": 4e6})
+
+    def test_fifo_inside_budget_fails(self):
+        assert not _headline_ok({**self.BASE, "fifo_infer_p99_ns": 2e6})
+
+    def test_starvation_fails(self):
+        assert not _headline_ok({**self.BASE, "starved_classes": ["train"]})
+
+    def test_sheds_landing_on_inference_fail(self):
+        assert not _headline_ok(
+            {**self.BASE, "wfq_infer_shed_frac": 0.5}
+        )
